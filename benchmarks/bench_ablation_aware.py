@@ -1,0 +1,81 @@
+"""Ablation: which network-aware ingredient buys what?
+
+DESIGN.md calls out the three Section VI ideas; this benchmark removes
+them one at a time from the full network-aware scheme on a big-network
+VWL+ROO configuration:
+
+* ``no-wakeup-hiding``  -- response-path wakeup chaining off (Section VI-B);
+* ``no-discount``       -- QD/QF congestion discount off (Section VI-C);
+* ``no-grant-pool``     -- leftover-AMS violation grants off (Section VI-A3);
+* ``isp-1-iter``        -- a single scatter/gather round instead of three.
+
+Expected shape: the full scheme saves the most power; each ablation
+costs savings (or performance); one ISP iteration already captures much
+of the benefit, consistent with the paper capping iterations at three.
+"""
+
+from repro.core.aware import NetworkAwarePolicy
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.report import format_table
+
+_VARIANTS = {
+    "full-aware": {},
+    "no-wakeup-hiding": {"enable_wakeup_hiding": False},
+    "no-discount": {"enable_congestion_discount": False},
+    "no-grant-pool": {"enable_grant_pool": False},
+    "isp-1-iter": {"isp_iterations": 1},
+}
+
+
+def _run_ablation(settings):
+    base = settings.base_config(
+        workload="is.D",
+        topology="ddrx_like",
+        scale="big",
+        mechanism="VWL+ROO",
+        alpha=0.05,
+    )
+    fp = run_experiment(base)
+    unaware = run_experiment(base.replace(policy="unaware"))
+    out = {
+        "FP": (fp.network_power_w, fp.throughput_per_s),
+        "unaware": (unaware.network_power_w, unaware.throughput_per_s),
+    }
+    for name, kwargs in _VARIANTS.items():
+        factory = lambda net, alpha, epoch, kw=kwargs: NetworkAwarePolicy(
+            net, alpha, epoch, **kw
+        )
+        res = run_experiment(base.replace(policy="aware"), policy_factory=factory)
+        out[name] = (res.network_power_w, res.throughput_per_s)
+    return out
+
+
+def test_ablation_aware(benchmark, settings, emit_result):
+    results = benchmark.pedantic(_run_ablation, args=(settings,), rounds=1, iterations=1)
+    fp_power, fp_thr = results["FP"]
+    rows = []
+    for name, (power, thr) in results.items():
+        rows.append([
+            name,
+            f"{power:.2f}",
+            f"{1 - power / fp_power:.1%}",
+            f"{1 - thr / fp_thr:.2%}",
+        ])
+    emit_result(
+        "ablation_aware",
+        format_table(
+            ["variant", "network W", "power saved vs FP", "throughput cost"],
+            rows,
+            title="Ablation -- network-aware ingredients (is.D, big ddrx_like, VWL+ROO, alpha=5%)",
+        ),
+    )
+
+    full_power = results["full-aware"][0]
+    # The full scheme beats network-unaware management.
+    assert full_power < results["unaware"][0]
+    # Every ablated variant still beats full power...
+    for name in _VARIANTS:
+        assert results[name][0] < fp_power
+    # ...and removing wakeup hiding costs savings on a ROO-bearing
+    # mechanism (response links must then burn full idle power longer).
+    assert results["no-wakeup-hiding"][0] >= full_power - 0.05 * fp_power

@@ -1,0 +1,51 @@
+"""Figure 11: per-HMC power under network-unaware management.
+
+Paper shape: all managed variants sit below the full-power bar; the
+combined VWL+ROO saves the most; increasing alpha from 2.5 % to 5 %
+buys only a modest extra reduction (~3 % in the paper); savings are
+larger for big networks than small ones.
+"""
+
+from repro.harness.figures import fig11_unaware_power
+from repro.harness.report import format_table
+
+
+def test_fig11_unaware_power(benchmark, runner, settings, emit_result):
+    rows = benchmark.pedantic(
+        fig11_unaware_power, args=(runner, settings), rounds=1, iterations=1
+    )
+    table = [
+        [scale, topology, label, f"{alpha * 100:.1f}%" if alpha else "-", f"{watts:.2f}"]
+        for scale, topology, label, alpha, watts in rows
+    ]
+    emit_result(
+        "fig11_unaware_power",
+        format_table(
+            ["scale", "topology", "mechanism", "alpha", "W/HMC"],
+            table,
+            title="Figure 11 -- per-HMC power under network-unaware management",
+        ),
+    )
+
+    cells = {(s, t, l, a): w for s, t, l, a, w in rows}
+    savings = {"small": [], "big": []}
+    for scale in ("small", "big"):
+        for topology in settings.topologies:
+            fp = cells[(scale, topology, "FP", 0.0)]
+            for mech in ("VWL", "ROO", "VWL+ROO"):
+                for alpha in (0.025, 0.05):
+                    managed = cells[(scale, topology, mech, alpha)]
+                    assert managed <= fp * 1.02, (
+                        f"{scale}/{topology}/{mech}@{alpha}: {managed:.2f} > FP {fp:.2f}"
+                    )
+                    savings[scale].append(1 - managed / fp)
+            # The combined mechanism beats either alone on average.
+            combo = cells[(scale, topology, "VWL+ROO", 0.05)]
+            assert combo <= cells[(scale, topology, "VWL", 0.05)] + 0.05
+            assert combo <= cells[(scale, topology, "ROO", 0.05)] + 0.05
+
+    small_avg = sum(savings["small"]) / len(savings["small"])
+    big_avg = sum(savings["big"]) / len(savings["big"])
+    # Paper: 14 % (small) and 24 % (big) average overall power reduction.
+    assert big_avg > small_avg
+    assert big_avg > 0.05

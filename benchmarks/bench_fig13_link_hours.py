@@ -1,0 +1,64 @@
+"""Figure 13: distribution of link hours over utilization and VWL mode.
+
+Paper shape: under network-unaware management a noticeable share of
+0-1 % utilization link hours is spent at full width (the counter-
+intuitive behaviour), while network-aware management pushes
+low-utilization links into narrow modes and keeps high-utilization
+links wide.
+"""
+
+from repro.harness.figures import fig13_link_hours
+from repro.harness.metrics import UTILIZATION_BUCKETS
+from repro.harness.report import format_table
+
+_LANES = {0: "16-lane", 1: "8-lane", 2: "4-lane", 3: "1-lane"}
+
+
+def _table(dist):
+    headers = ["utilization"] + list(_LANES.values()) + ["total"]
+    rows = []
+    for label, _lo, _hi in UTILIZATION_BUCKETS:
+        per_mode = dist.get(label, {})
+        total = sum(per_mode.values())
+        rows.append(
+            [label]
+            + [f"{per_mode.get(i, 0.0) * 100:.1f}%" for i in _LANES]
+            + [f"{total * 100:.1f}%"]
+        )
+    return headers, rows
+
+
+def test_fig13_link_hours(benchmark, runner, settings, emit_result):
+    def both():
+        return (
+            fig13_link_hours(runner, settings, policy="unaware"),
+            fig13_link_hours(runner, settings, policy="aware"),
+        )
+
+    unaware, aware = benchmark.pedantic(both, rounds=1, iterations=1)
+    parts = []
+    for name, dist in (("network-unaware", unaware), ("network-aware", aware)):
+        headers, rows = _table(dist)
+        from repro.harness.report import format_table as ft
+
+        parts.append(ft(headers, rows, title=f"Figure 13 -- link hours, {name} (big, VWL)"))
+    emit_result("fig13_link_hours", "\n\n".join(parts))
+
+    def frac(dist, bucket, mode):
+        return dist.get(bucket, {}).get(mode, 0.0)
+
+    def narrow_share(dist, bucket):
+        per_mode = dist.get(bucket, {})
+        total = sum(per_mode.values())
+        if total == 0:
+            return 0.0
+        return sum(v for m, v in per_mode.items() if m >= 2) / total
+
+    # Aware management moves more 0-1% utilization hours into narrow
+    # modes than unaware management does.
+    assert narrow_share(aware, "0-1%") >= narrow_share(unaware, "0-1%") - 0.05
+    # High-utilization links stay at full/8-lane width under aware mgmt.
+    high = aware.get("20-100%", {})
+    if high:
+        wide = high.get(0, 0.0) + high.get(1, 0.0)
+        assert wide / sum(high.values()) > 0.6

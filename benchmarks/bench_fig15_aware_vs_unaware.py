@@ -1,0 +1,38 @@
+"""Figure 15: power savings of network-aware vs. unaware management.
+
+Paper shape: network-aware management reduces network-wide power by a
+further 11 % (small) / 19 % (big) on average over network-unaware
+management, positive across topologies and mechanisms.
+"""
+
+from repro.harness.figures import fig15_aware_vs_unaware
+from repro.harness.report import format_table
+
+
+def test_fig15_aware_vs_unaware(benchmark, runner, settings, emit_result):
+    rows = benchmark.pedantic(
+        fig15_aware_vs_unaware, args=(runner, settings), rounds=1, iterations=1
+    )
+    table = [
+        [scale, topology, mech, f"{alpha * 100:.1f}%", f"{red * 100:.1f}%"]
+        for scale, topology, mech, alpha, red in rows
+    ]
+    emit_result(
+        "fig15_aware_vs_unaware",
+        format_table(
+            ["scale", "topology", "mechanism", "alpha", "power reduction"],
+            table,
+            title="Figure 15 -- network-aware vs. network-unaware power savings",
+        ),
+    )
+
+    small = [r for s, _t, _m, _a, r in rows if s == "small"]
+    big = [r for s, _t, _m, _a, r in rows if s == "big"]
+    small_avg = sum(small) / len(small)
+    big_avg = sum(big) / len(big)
+    # Aware management wins on average at both scales.
+    assert small_avg > 0.02, f"small average {small_avg:.1%}"
+    assert big_avg > 0.02, f"big average {big_avg:.1%}"
+    # The overwhelming majority of cells favour aware management.
+    positive = sum(1 for *_x, r in rows if r > -0.02)
+    assert positive >= 0.8 * len(rows)

@@ -1,0 +1,38 @@
+"""Figure 17: performance overheads of network-aware management.
+
+Paper shape: vs. network-unaware management, aware management costs
+only ~0.2-0.3 % average throughput (it spends AMS that unaware left
+unused); vs. full power the maximum overhead over all comparisons is
+5.9 %.
+"""
+
+from repro.harness.figures import fig17_aware_performance
+from repro.harness.report import format_table
+
+
+def test_fig17_aware_performance(benchmark, runner, settings, emit_result):
+    rows = benchmark.pedantic(
+        fig17_aware_performance, args=(runner, settings), rounds=1, iterations=1
+    )
+    table = [
+        [scale, topology, mech, f"{alpha * 100:.1f}%",
+         f"{avg_rel * 100:.2f}%", f"{max_fp * 100:.2f}%"]
+        for scale, topology, mech, alpha, avg_rel, max_fp in rows
+    ]
+    emit_result(
+        "fig17_aware_perf",
+        format_table(
+            ["scale", "topology", "mechanism", "alpha",
+             "avg deg vs unaware", "max deg vs FP"],
+            table,
+            title="Figure 17 -- performance overhead of network-aware management",
+        ),
+    )
+
+    rel = [avg_rel for *_x, avg_rel, _m in rows]
+    avg_rel_overall = sum(rel) / len(rel)
+    # Small average cost vs. unaware (paper: 0.2-0.3 %).
+    assert avg_rel_overall < 0.04, f"avg degradation vs unaware {avg_rel_overall:.1%}"
+    # Bounded worst case vs. full power (paper max: 5.9 %).
+    worst = max(max_fp for *_x, max_fp in rows)
+    assert worst < 0.15, f"worst-case degradation vs FP {worst:.1%}"

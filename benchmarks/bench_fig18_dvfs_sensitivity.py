@@ -1,0 +1,42 @@
+"""Figure 18: sensitivity -- DVFS links and 20 ns-wakeup ROO links.
+
+Paper shape: for the same alpha, DVFS saves less than VWL (its long
+SERDES latency at low voltage eats the budget); 20 ns ROO saves
+slightly less than 14 ns ROO; network-aware still beats unaware
+(21 % / 12 % further reduction for big / small in the paper).
+"""
+
+from repro.harness.figures import fig18_dvfs_sensitivity
+from repro.harness.report import format_table
+
+
+def test_fig18_dvfs_sensitivity(benchmark, runner, settings, emit_result):
+    rows = benchmark.pedantic(
+        fig18_dvfs_sensitivity, args=(runner, settings), rounds=1, iterations=1
+    )
+    table = [
+        [scale, label, policy, f"{red * 100:.1f}%", f"{deg * 100:.2f}%"]
+        for scale, label, policy, red, deg in rows
+    ]
+    emit_result(
+        "fig18_dvfs_sensitivity",
+        format_table(
+            ["scale", "mechanism", "policy", "power reduction vs FP", "avg deg vs FP"],
+            table,
+            title="Figure 18 -- DVFS and 20 ns ROO sensitivity (alpha=5%)",
+        ),
+    )
+
+    cell = {(s, l, p): (red, deg) for s, l, p, red, deg in rows}
+    for scale in ("small", "big"):
+        for label in ("DVFS", "ROO@20ns", "DVFS+ROO@20ns"):
+            unaware_red, unaware_deg = cell[(scale, label, "unaware")]
+            aware_red, aware_deg = cell[(scale, label, "aware")]
+            # Aware continues to win under the sensitivity parameters.
+            assert aware_red >= unaware_red - 0.02, (
+                f"{scale}/{label}: aware {aware_red:.1%} < unaware {unaware_red:.1%}"
+            )
+            # Overheads stay bounded near alpha.
+            assert unaware_deg < 0.13 and aware_deg < 0.13
+            # Some saving materializes for the aware scheme.
+            assert aware_red > 0.0

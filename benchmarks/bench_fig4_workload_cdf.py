@@ -1,0 +1,40 @@
+"""Figure 4: cumulative memory accesses by address range, per workload.
+
+No simulation needed -- the workload profiles *are* the stylized CDFs;
+this regenerates the plotted series and checks the headline properties
+(footprints average ~17 GB, cold flat segments exist).
+"""
+
+from repro.harness.figures import fig4_workload_cdfs
+from repro.harness.report import format_table
+from repro.workloads import WORKLOAD_NAMES, get_profile
+
+
+def test_fig4_workload_cdfs(benchmark, emit_result):
+    series = benchmark(fig4_workload_cdfs, WORKLOAD_NAMES, 4.0)
+    headers = ["workload"] + [f"{gb:g}GB" for gb in range(0, 40, 4)]
+    rows = []
+    for name, points in series:
+        profile = get_profile(name)
+        row = [name]
+        for gb in range(0, 40, 4):
+            if gb > profile.footprint_gb + 3.99:
+                row.append("-")
+            else:
+                row.append(f"{profile.access_fraction_below(min(gb, profile.footprint_gb)):.2f}")
+        rows.append(row)
+    emit_result(
+        "fig4_workload_cdf",
+        format_table(headers, rows, title="Figure 4 -- cumulative access fraction by address range"),
+    )
+
+    assert len(series) == 14
+    footprints = [get_profile(n).footprint_gb for n, _ in series]
+    assert 14 <= sum(footprints) / len(footprints) <= 19
+    # is.D spans the widest address range, as in the paper's x-axis.
+    assert max(footprints) == get_profile("is.D").footprint_gb
+    # CDFs are monotone and complete.
+    for _name, points in series:
+        ys = [y for _x, y in points]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+        assert ys[-1] == 1.0

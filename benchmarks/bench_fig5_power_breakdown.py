@@ -1,0 +1,41 @@
+"""Figure 5: average power breakdown of an HMC in a full-power network.
+
+Paper shape: ~1.9 W/HMC (small) and ~2.5 W/HMC (big) totals with I/O
+(idle + active) consuming ~73 % of memory network power, idle I/O being
+the single largest contributor.
+"""
+
+from repro.harness.figures import fig5_power_breakdown
+from repro.harness.report import format_table
+from repro.power.accounting import PowerBreakdown
+
+
+def test_fig5_power_breakdown(benchmark, runner, settings, emit_result):
+    rows = benchmark.pedantic(
+        fig5_power_breakdown, args=(runner, settings), rounds=1, iterations=1
+    )
+    headers = ["scale", "topology"] + PowerBreakdown.categories() + ["total", "io%"]
+    table = []
+    for scale, topology, watts in rows:
+        total = sum(watts.values())
+        io = watts["idle_io"] + watts["active_io"]
+        table.append(
+            [scale, topology]
+            + [f"{watts[c]:.3f}" for c in PowerBreakdown.categories()]
+            + [f"{total:.2f}", f"{io / total * 100:.0f}%"]
+        )
+    emit_result(
+        "fig5_power_breakdown",
+        format_table(headers, table, title="Figure 5 -- average power (W) per HMC, full-power networks"),
+    )
+
+    avg_rows = {scale: watts for scale, topo, watts in rows if topo == "avg"}
+    for scale, watts in avg_rows.items():
+        total = sum(watts.values())
+        io = watts["idle_io"] + watts["active_io"]
+        # I/O dominates: the paper reports 73 % on average.
+        assert io / total > 0.55, f"{scale}: I/O fraction {io / total:.2f}"
+        # Idle I/O is the single biggest bucket.
+        assert watts["idle_io"] == max(watts.values())
+        # Sane absolute scale (paper: ~1.9-2.5 W per HMC).
+        assert 1.0 < total < 4.5

@@ -1,0 +1,45 @@
+"""Figure 6: average number of modules traversed per memory access.
+
+Paper shape: daisychain traverses the most modules (every access walks
+the chain), ternary tree / star the fewest; big networks traverse more
+than small ones.
+"""
+
+from collections import defaultdict
+
+from repro.harness.figures import fig6_modules_traversed
+from repro.harness.report import format_table
+
+
+def test_fig6_modules_traversed(benchmark, runner, settings, emit_result):
+    rows = benchmark.pedantic(
+        fig6_modules_traversed, args=(runner, settings), rounds=1, iterations=1
+    )
+    headers = ["scale", "topology"] + list(settings.workloads) + ["avg"]
+    by_cell = defaultdict(dict)
+    for scale, topology, workload, hops in rows:
+        by_cell[(scale, topology)][workload] = hops
+    table = []
+    averages = {}
+    for (scale, topology), per_wl in by_cell.items():
+        avg = sum(per_wl.values()) / len(per_wl)
+        averages[(scale, topology)] = avg
+        table.append(
+            [scale, topology]
+            + [f"{per_wl[w]:.1f}" for w in settings.workloads]
+            + [f"{avg:.1f}"]
+        )
+    emit_result(
+        "fig6_hops",
+        format_table(headers, table, title="Figure 6 -- avg modules traversed per memory access"),
+    )
+
+    for scale in ("small", "big"):
+        chain = averages[(scale, "daisychain")]
+        tree = averages[(scale, "ternary_tree")]
+        assert chain >= tree, f"{scale}: daisychain should traverse most"
+    # Big networks traverse more modules than small ones.
+    for topology in settings.topologies:
+        assert averages[("big", topology)] > averages[("small", topology)]
+    # Every access touches at least one module (and twice for reads).
+    assert all(hops >= 1.0 for *_ignore, hops in rows)

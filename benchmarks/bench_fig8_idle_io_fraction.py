@@ -1,0 +1,50 @@
+"""Figure 8: idle I/O power as a fraction of total network power.
+
+Paper shape: idle I/O accounts for 53 % (small) / 67 % (big) of total
+network power on average, stays near or above 50 % even for the busiest
+workload (mixB), and peaks for the least utilized one (sp.D).
+"""
+
+from collections import defaultdict
+
+from repro.harness.figures import fig8_idle_io_fraction
+from repro.harness.report import format_table
+
+
+def test_fig8_idle_io_fraction(benchmark, runner, settings, emit_result):
+    rows = benchmark.pedantic(
+        fig8_idle_io_fraction, args=(runner, settings), rounds=1, iterations=1
+    )
+    headers = ["scale", "topology"] + list(settings.workloads) + ["avg"]
+    by_cell = defaultdict(dict)
+    for scale, topology, workload, frac in rows:
+        by_cell[(scale, topology)][workload] = frac
+    table = []
+    for (scale, topology), per_wl in by_cell.items():
+        avg = sum(per_wl.values()) / len(per_wl)
+        table.append(
+            [scale, topology]
+            + [f"{per_wl[w] * 100:.0f}%" for w in settings.workloads]
+            + [f"{avg * 100:.0f}%"]
+        )
+    emit_result(
+        "fig8_idle_io_fraction",
+        format_table(headers, table, title="Figure 8 -- idle I/O power / total network power"),
+    )
+
+    small = [f for s, _t, _w, f in rows if s == "small"]
+    big = [f for s, _t, _w, f in rows if s == "big"]
+    small_avg = sum(small) / len(small)
+    big_avg = sum(big) / len(big)
+    # Idle I/O is the top power contributor in both studies and grows
+    # with network size (53 % -> 67 % in the paper).
+    assert small_avg > 0.40
+    assert big_avg > small_avg
+
+    if "sp.D" in settings.workloads and "mixB" in settings.workloads:
+        sp = [f for _s, _t, w, f in rows if w == "sp.D"]
+        mixb = [f for _s, _t, w, f in rows if w == "mixB"]
+        # The least-utilized workload shows the highest idle fraction.
+        assert sum(sp) / len(sp) > sum(mixb) / len(mixb)
+        # Even the busiest workload stays near 50 %.
+        assert sum(mixb) / len(mixb) > 0.35

@@ -1,0 +1,46 @@
+"""Figure 9: average channel and link bandwidth utilization.
+
+Paper shape: channel utilization spans ~8 % (sp.D) to ~75 % (mixB) and
+averages ~43 %; average *link* utilization sits well below channel
+utilization because traffic attenuates across the network.
+"""
+
+from collections import defaultdict
+
+from repro.harness.figures import fig9_utilization
+from repro.harness.report import format_table
+from repro.workloads import get_profile
+
+
+def test_fig9_utilization(benchmark, runner, settings, emit_result):
+    rows = benchmark.pedantic(
+        fig9_utilization, args=(runner, settings), rounds=1, iterations=1
+    )
+    table = [
+        [scale, topology, workload, f"{chan * 100:.0f}%", f"{link * 100:.0f}%"]
+        for scale, topology, workload, chan, link in rows
+    ]
+    emit_result(
+        "fig9_utilization",
+        format_table(
+            ["scale", "topology", "workload", "channel util", "link util"],
+            table,
+            title="Figure 9 -- channel and average link utilization",
+        ),
+    )
+
+    # Traffic attenuation: link utilization below channel utilization.
+    for _s, _t, _w, chan, link in rows:
+        if chan > 0.05:
+            assert link < chan
+
+    # Channel utilization roughly tracks each profile's target.
+    per_workload = defaultdict(list)
+    for _s, _t, w, chan, _l in rows:
+        per_workload[w].append(chan)
+    for workload, values in per_workload.items():
+        target = get_profile(workload).channel_util
+        measured = sum(values) / len(values)
+        assert abs(measured - target) < max(0.20, 0.5 * target), (
+            f"{workload}: measured {measured:.2f}, target {target:.2f}"
+        )

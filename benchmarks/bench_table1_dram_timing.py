@@ -1,0 +1,38 @@
+"""Table I: HMC DRAM array parameters and derived timing.
+
+Validates that the vault model reproduces the latencies the paper's
+slowdown accounting relies on (30 ns close-page reads) and prints the
+configured Table I row.
+"""
+
+import pytest
+
+from repro.dram import DEFAULT_TIMING, VaultSet
+from repro.harness.report import format_table
+
+
+def _measure_unloaded_read_latency() -> float:
+    vaults = VaultSet(DEFAULT_TIMING)
+    access = vaults.access(1000.0, address=0, is_read=True)
+    return access.data_ready - access.start
+
+
+def test_table1_dram_timing(benchmark, emit_result):
+    latency = benchmark(_measure_unloaded_read_latency)
+    t = DEFAULT_TIMING
+    rows = [
+        ["Capacity per HMC / vaults", f"{t.capacity_bytes // 1024**3} GB / {t.vaults}"],
+        ["Vault data rate / IO width / buffers",
+         f"{t.vault_data_rate_gbps} Gbps / x{t.vault_io_width} / {t.vault_buffer_entries}"],
+        ["Page policy / mapping", f"{t.page_policy} / line-interleaved"],
+        ["tCL/tRCD/tRAS/tRP/tRRD/tWR (ns)",
+         f"{t.tCL:.0f}/{t.tRCD:.0f}/{t.tRAS:.0f}/{t.tRP:.0f}/{t.tRRD:.0f}/{t.tWR:.0f}"],
+        ["Derived burst time", f"{t.burst_ns:.1f} ns"],
+        ["Derived close-page read latency", f"{t.read_latency_ns:.1f} ns (paper: ~30 ns)"],
+        ["Measured unloaded read latency", f"{latency:.1f} ns"],
+    ]
+    emit_result(
+        "table1_dram_timing",
+        format_table(["parameter", "value"], rows, title="Table I -- HMC DRAM array parameters"),
+    )
+    assert latency == pytest.approx(30.0)

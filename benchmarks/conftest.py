@@ -1,0 +1,55 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+A single session-scoped :class:`SweepRunner` caches every simulation so
+runs shared between figures (full-power baselines, the unaware grid)
+simulate exactly once per pytest session.
+
+Each benchmark prints its table/series and also writes it to
+``results/<artifact>.txt`` so the output survives pytest's capture.
+
+Scale: the default settings simulate a 4-workload subset over 500 us
+windows; set ``REPRO_BENCH_FULL=1`` for all 14 workloads over 1 ms
+(slower, closer to the paper's grids).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.figures import RunSettings
+from repro.harness.sweep import SweepRunner
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> SweepRunner:
+    return SweepRunner()
+
+
+@pytest.fixture(scope="session")
+def settings() -> RunSettings:
+    return RunSettings.from_env()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a result table and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def emit_result(results_dir):
+    def _emit(name: str, text: str) -> None:
+        emit(results_dir, name, text)
+
+    return _emit

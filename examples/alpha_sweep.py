@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Sweep the performance budget alpha and plot the trade-off curve.
+
+Reproduces the Section VII-A methodology: sweep alpha for network-aware
+management, draw the power/performance Pareto frontier, and find the
+iso-performance point against the static fat/tapered-tree baseline.
+
+Usage::
+
+    python examples/alpha_sweep.py [workload] [topology]
+"""
+
+import sys
+
+from repro import ExperimentConfig, SweepRunner
+from repro.harness import (
+    alpha_for_degradation,
+    format_table,
+    line_chart,
+    pareto_frontier,
+    sweep_alpha,
+)
+from repro.harness.pareto import DEFAULT_ALPHAS
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mg.D"
+    topology = sys.argv[2] if len(sys.argv) > 2 else "star"
+    runner = SweepRunner()
+    config = ExperimentConfig(
+        workload=workload,
+        topology=topology,
+        scale="big",
+        mechanism="VWL",
+        policy="aware",
+        window_ns=300_000.0,
+        epoch_ns=20_000.0,
+    )
+
+    print(f"Sweeping alpha over {DEFAULT_ALPHAS} for {workload} / big {topology}...")
+    points = sweep_alpha(runner, config)
+
+    rows = [
+        [f"{p.alpha:.1%}", f"{p.power_saved:.1%}", f"{p.degradation:.2%}"]
+        for p in points
+    ]
+    print()
+    print(format_table(
+        ["alpha", "power saved", "throughput cost"], rows,
+        title="Network-aware VWL power/performance trade-off",
+    ))
+
+    frontier = pareto_frontier(points)
+    print()
+    print(line_chart(
+        [("alpha sweep", [(p.degradation * 100, p.power_saved * 100) for p in points])],
+        width=50, height=12,
+        title="Power saved (%) vs throughput cost (%)",
+    ))
+
+    # Iso-performance comparison against the static baseline (VII-A).
+    static_cfg = config.replace(policy="static", alpha=0.05, mapping="interleaved")
+    static_deg = runner.degradation_vs_baseline(static_cfg)
+    static_saved = runner.power_reduction_vs_baseline(static_cfg)
+    match = alpha_for_degradation(points, max(static_deg, points[0].degradation))
+    print()
+    print(f"Static fat/tapered baseline: {static_saved:.1%} saved at "
+          f"{static_deg:.2%} throughput cost (untunable).")
+    if match is not None:
+        print(f"Network-aware at alpha={match.alpha:.0%} matches that budget: "
+              f"{match.power_saved:.1%} saved at {match.degradation:.2%} cost.")
+    print(f"Pareto frontier has {len(frontier)} of {len(points)} swept points.")
+
+
+if __name__ == "__main__":
+    main()

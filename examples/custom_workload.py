@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Bring your own workload: drive the simulator with a custom profile.
+
+Shows the lower-level API: define a :class:`WorkloadProfile` for an
+application the paper never measured (a 20 GB key-value store with a
+Zipf-ish hot set and bursty traffic), assemble the network by hand, run
+it under network-aware management, and inspect per-module state.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import (
+    ClosedLoopWorkload,
+    NetworkAwarePolicy,
+    MemoryNetwork,
+    Simulator,
+    build_topology,
+    make_mechanism,
+)
+from repro.harness import format_table
+from repro.power import PowerBreakdown
+from repro.workloads import WorkloadProfile, modules_for_footprint
+from repro.workloads.mapping import contiguous_mapping
+
+WINDOW_NS = 400_000.0
+
+#: A synthetic key-value store: 20 GB footprint, a 2 GB hot set taking
+#: 70 % of accesses, read-heavy, moderately bursty.
+KV_STORE = WorkloadProfile(
+    name="kvstore",
+    footprint_gb=20.0,
+    channel_util=0.45,
+    read_fraction=0.90,
+    cdf=((0.0, 0.0), (2.0, 0.70), (8.0, 0.85), (20.0, 1.0)),
+    duty=0.6,
+    run_length=2.0,
+    description="synthetic key-value store with a Zipf-ish hot set",
+)
+
+
+def main() -> None:
+    sim = Simulator()
+    num_modules = modules_for_footprint(KV_STORE.footprint_gb, "big")
+    topology = build_topology("ternary_tree", num_modules)
+    mapping = contiguous_mapping(KV_STORE.footprint_gb, "big")
+    network = MemoryNetwork(
+        sim, topology, make_mechanism("VWL+ROO"), mapping
+    )
+    policy = NetworkAwarePolicy(network, alpha=0.05, epoch_ns=25_000.0)
+    workload = ClosedLoopWorkload(network, KV_STORE, stop_ns=WINDOW_NS, seed=7)
+
+    network.start()
+    policy.start()
+    workload.start()
+    sim.run(until=WINDOW_NS)
+    network.finalize(WINDOW_NS)
+
+    print(f"Simulated {sim.now / 1e6:.2f} ms of a {num_modules}-HMC ternary tree")
+    print(f"Completed {network.completed_reads} reads / "
+          f"{network.completed_writes} writes; "
+          f"avg read latency {network.avg_read_latency_ns:.0f} ns; "
+          f"{policy.epochs_run} epochs, {policy.violations} violations.\n")
+
+    rows = []
+    for module in network.modules:
+        bd = PowerBreakdown.from_ledgers([module.ledger], WINDOW_NS, 1)
+        req, resp = module.req_in, module.resp_out
+        rows.append([
+            module.module_id,
+            topology.depth(module.module_id),
+            module.dram_reads,
+            f"{bd.total_w:.2f}",
+            f"{bd.watts['idle_io']:.2f}",
+            f"{req.mech.width_modes[req.width_idx].name}"
+            + ("/off" if req.is_off else ""),
+            f"{resp.mech.width_modes[resp.width_idx].name}"
+            + ("/off" if resp.is_off else ""),
+            f"{req.off_time_ns / WINDOW_NS:.0%}",
+        ])
+    print(format_table(
+        ["HMC", "hops", "DRAM reads", "W", "idle I/O W",
+         "req link", "resp link", "req off time"],
+        rows,
+        title="Per-module state after network-aware management",
+    ))
+    print()
+    print("The 2 GB hot set sits in HMCs 0-1; colder modules settle into")
+    print("narrow, mostly-off links while the hot path stays wide.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""How much hardware does the management actually cost?
+
+Prints the counter-storage and ISP message overheads for the paper's
+topologies at representative sizes -- the quantitative backing for the
+paper's claim that its schemes are cheap (a few hundred bytes of
+counters per module and one 64 B message per module per ISP step).
+
+Usage::
+
+    python examples/hardware_cost_report.py
+"""
+
+from repro import TOPOLOGY_NAMES, build_topology, make_mechanism
+from repro.core import link_counter_bits, module_counter_bits, network_overhead
+from repro.harness import format_table
+
+
+def main() -> None:
+    rows = []
+    for mech_name in ("VWL", "ROO", "VWL+ROO", "DVFS+ROO"):
+        mech = make_mechanism(mech_name)
+        for aware in (False, True):
+            budget = link_counter_bits(mech, network_aware=aware)
+            rows.append([
+                mech_name,
+                "aware" if aware else "unaware",
+                f"{budget.total_bytes:.0f} B",
+                f"{budget.delay_monitors // 8} B",
+                f"{budget.idle_histogram // 8} B",
+                f"{budget.congestion // 8} B",
+            ])
+    print(format_table(
+        ["mechanism", "scheme", "per-link state", "delay monitors",
+         "idle histogram", "QD/QF"],
+        rows,
+        title="Per-link-controller counter storage",
+    ))
+    print(f"\nPer-module Equation 1 state: "
+          f"{module_counter_bits().total_bytes:.0f} B")
+
+    rows = []
+    for name in TOPOLOGY_NAMES:
+        for n in (5, 17, 34):
+            topo = build_topology(name, n)
+            ov = network_overhead(topo, make_mechanism("VWL+ROO"), True)
+            rows.append([
+                name, n,
+                f"{ov.total_counter_bits / 8 / 1024:.1f} KiB",
+                ov.isp_messages_per_epoch,
+                f"{ov.isp_bytes_per_epoch} B",
+                f"{ov.isp_wire_fraction_of_epoch:.4%}",
+            ])
+    print()
+    print(format_table(
+        ["topology", "HMCs", "total counters", "ISP msgs/epoch",
+         "ISP bytes/epoch", "wire time/epoch"],
+        rows,
+        title="Network-aware (ISP) overheads per 100 us epoch, VWL+ROO",
+    ))
+    print("\nManagement traffic occupies well under 0.01% of link time;")
+    print("counter state is a few hundred bytes per module.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Multi-channel systems: does single-channel methodology generalize?
+
+The paper evaluates a single HMC channel, arguing channels are
+independent and statistically alike (Section III-C), and leaves
+inter-channel power effects to future work.  This example simulates a
+four-channel system (four independent networks with distinct seeds),
+quantifies the per-channel spread, and reports system-level power.
+
+Usage::
+
+    python examples/multichannel_study.py [workload]
+"""
+
+import sys
+
+from repro import ExperimentConfig
+from repro.harness import format_table, run_multichannel
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mixC"
+    config = ExperimentConfig(
+        workload=workload,
+        topology="star",
+        scale="small",
+        mechanism="VWL+ROO",
+        policy="aware",
+        alpha=0.05,
+        window_ns=200_000.0,
+        epoch_ns=20_000.0,
+    )
+    print(f"Simulating 4 independent channels of {workload}...")
+    system = run_multichannel(config, channels=4)
+
+    rows = []
+    for i, channel in enumerate(system.channels):
+        rows.append([
+            i,
+            channel.config.seed,
+            f"{channel.network_power_w:.2f}",
+            f"{channel.idle_io_fraction:.0%}",
+            f"{channel.throughput_per_s:.3e}",
+            f"{channel.avg_read_latency_ns:.0f}",
+        ])
+    print()
+    print(format_table(
+        ["channel", "seed", "network W", "idle I/O", "accesses/s", "lat (ns)"],
+        rows,
+        title="Per-channel results (aware VWL+ROO, alpha=5%)",
+    ))
+    print()
+    print(f"System power      : {system.total_network_power_w:.2f} W over "
+          f"{system.total_modules} HMCs "
+          f"({system.avg_power_per_hmc_w:.2f} W/HMC)")
+    print(f"System throughput : {system.total_throughput_per_s:.3e} accesses/s")
+    print(f"Channel spread    : {system.channel_power_spread():.1%} "
+          f"(max-min)/mean power")
+    print()
+    print("A small spread supports the paper's single-channel methodology:")
+    print("channel-interleaved traffic makes channels statistically alike,")
+    print("so per-channel conclusions scale to the whole system.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Summarize results/*.txt into the headline numbers EXPERIMENTS.md cites.
+
+Run after ``pytest benchmarks/ --benchmark-only``; parses the persisted
+tables and prints per-artifact aggregates (averages over topologies and
+workloads) next to the paper's published values.
+"""
+
+import pathlib
+import re
+import sys
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def rows_of(name, columns):
+    """Yield whitespace-split rows with the expected column count."""
+    path = RESULTS / name
+    if not path.exists():
+        return
+    for line in path.read_text().splitlines():
+        parts = line.split()
+        if len(parts) == columns and parts[0] in ("small", "big"):
+            yield parts
+
+
+def pct(s):
+    return float(s.rstrip("%")) / 100.0
+
+
+def avg(vals):
+    vals = list(vals)
+    return sum(vals) / len(vals) if vals else float("nan")
+
+
+def main():
+    # Figure 6: modules traversed.
+    f6 = list(rows_of("fig6_hops.txt", 7))
+    if f6:
+        for scale in ("small", "big"):
+            by_topo = {}
+            for r in f6:
+                if r[0] == scale:
+                    by_topo.setdefault(r[1], []).append(float(r[-1]))
+            line = ", ".join(f"{t}={avg(v):.1f}" for t, v in by_topo.items())
+            print(f"F6 {scale}: {line}")
+
+    # Figure 8: idle I/O fraction.
+    f8 = list(rows_of("fig8_idle_io_fraction.txt", 7))
+    if f8:
+        for scale in ("small", "big"):
+            vals = [pct(r[-1]) for r in f8 if r[0] == scale]
+            print(f"F8 {scale}: avg idle-I/O fraction {avg(vals):.0%}")
+
+    # Figure 9: utilizations.
+    f9 = list(rows_of("fig9_utilization.txt", 5))
+    if f9:
+        chans = [pct(r[3]) for r in f9]
+        links = [pct(r[4]) for r in f9]
+        print(f"F9: avg channel util {avg(chans):.0%}, avg link util {avg(links):.0%}")
+
+    # Figure 15: aware vs unaware reduction.
+    f15 = list(rows_of("fig15_aware_vs_unaware.txt", 5))
+    if f15:
+        for scale in ("small", "big"):
+            vals = [pct(r[-1]) for r in f15 if r[0] == scale]
+            positive = sum(1 for v in vals if v > -0.02)
+            print(f"F15 {scale}: avg further reduction {avg(vals):.1%} "
+                  f"({positive}/{len(vals)} cells favour aware)")
+
+    # Figure 16 per workload.
+    path = RESULTS / "fig16_per_workload.txt"
+    if path.exists():
+        wins = total = 0
+        for line in path.read_text().splitlines():
+            parts = line.split()
+            if len(parts) == 7 and parts[0] not in ("workload", "Figure"):
+                try:
+                    pairs = [(pct(parts[i]), pct(parts[i + 1])) for i in (1, 3, 5)]
+                except ValueError:
+                    continue
+                for unaware, aware in pairs:
+                    total += 1
+                    wins += aware >= unaware - 0.02
+        if total:
+            print(f"F16: aware >= unaware in {wins}/{total} workload cells")
+
+    # Figure 17.
+    f17 = list(rows_of("fig17_aware_perf.txt", 6))
+    if f17:
+        rel = [pct(r[4]) for r in f17]
+        worst = max(pct(r[5]) for r in f17)
+        print(f"F17: avg degradation vs unaware {avg(rel):.2%}, "
+              f"max vs FP {worst:.2%}")
+
+    # Figure 18.
+    f18 = list(rows_of("fig18_dvfs_sensitivity.txt", 5))
+    if f18:
+        for scale in ("small", "big"):
+            for label in ("DVFS", "ROO@20ns", "DVFS+ROO@20ns"):
+                cells = {r[2]: (pct(r[3]), pct(r[4])) for r in f18
+                         if r[0] == scale and r[1] == label}
+                if cells:
+                    u, a = cells.get("unaware"), cells.get("aware")
+                    print(f"F18 {scale} {label}: unaware {u[0]:.1%}/{u[1]:.2%}, "
+                          f"aware {a[0]:.1%}/{a[1]:.2%}")
+
+    # Section VII-A.
+    path = RESULTS / "sec7_static_baseline.txt"
+    if path.exists():
+        print("S7:")
+        for line in path.read_text().splitlines():
+            if "degradation" in line or "reduction" in line:
+                print("   " + line.strip())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""repro: a reproduction of "Understanding and Optimizing Power
+Consumption in Memory Networks" (HPCA 2017).
+
+A trace-free, closed-loop, event-driven simulator of HMC-style memory
+networks with the paper's power model, circuit-level I/O power-control
+mechanisms (ROO / VWL / DVFS), and both management schemes
+(network-unaware, Section V; network-aware ISP, Section VI).
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(
+        ExperimentConfig(
+            workload="mixB",
+            topology="ternary_tree",
+            mechanism="VWL+ROO",
+            policy="aware",
+            alpha=0.05,
+        )
+    )
+    print(result.breakdown.watts)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+import repro.analysis  # noqa: F401  (analytical models subpackage)
+from repro.core import (
+    LinkModeState,
+    MECHANISM_NAMES,
+    MechanismConfig,
+    NetworkAwarePolicy,
+    NetworkUnawarePolicy,
+    StaticBaselinePolicy,
+    make_mechanism,
+)
+from repro.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    RunSettings,
+    SweepRunner,
+    run_experiment,
+)
+from repro.network import (
+    MemoryNetwork,
+    Radix,
+    TOPOLOGY_NAMES,
+    Topology,
+    build_topology,
+)
+from repro.power import DEFAULT_POWER_MODEL, HmcPowerModel, PowerBreakdown
+from repro.sim import Simulator
+from repro.workloads import WORKLOAD_NAMES, ClosedLoopWorkload, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "Topology",
+    "TOPOLOGY_NAMES",
+    "Radix",
+    "build_topology",
+    "MemoryNetwork",
+    "MechanismConfig",
+    "LinkModeState",
+    "make_mechanism",
+    "MECHANISM_NAMES",
+    "NetworkUnawarePolicy",
+    "NetworkAwarePolicy",
+    "StaticBaselinePolicy",
+    "HmcPowerModel",
+    "DEFAULT_POWER_MODEL",
+    "PowerBreakdown",
+    "WORKLOAD_NAMES",
+    "get_profile",
+    "ClosedLoopWorkload",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "RunSettings",
+    "SweepRunner",
+]

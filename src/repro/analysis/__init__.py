@@ -1,0 +1,23 @@
+"""Analytical models: queueing theory and closed-form power predictions."""
+
+from repro.analysis.power_model import (
+    predict_full_power_breakdown,
+    predict_idle_io_fraction,
+)
+from repro.analysis.queueing import (
+    LinkLoadModel,
+    link_service_time_ns,
+    link_utilization,
+    md1_latency_ns,
+    md1_wait_ns,
+)
+
+__all__ = [
+    "md1_wait_ns",
+    "md1_latency_ns",
+    "link_service_time_ns",
+    "link_utilization",
+    "LinkLoadModel",
+    "predict_full_power_breakdown",
+    "predict_idle_io_fraction",
+]

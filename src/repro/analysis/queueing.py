@@ -1,0 +1,102 @@
+"""Analytical queueing cross-checks for the link model.
+
+A packet link with Poisson arrivals and deterministic service is an
+M/D/1 queue; its mean waiting time has the closed form
+
+    W = rho * S / (2 * (1 - rho))
+
+with service time ``S`` and utilization ``rho``.  These helpers predict
+link latency and utilization analytically so tests (and users) can
+sanity-check the event-driven simulator against theory, and so
+back-of-envelope capacity planning doesn't need a simulation at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.mechanisms import FLIT_TIME_FULL_NS, SERDES_FULL_NS
+
+__all__ = [
+    "md1_wait_ns",
+    "md1_latency_ns",
+    "link_service_time_ns",
+    "link_utilization",
+    "LinkLoadModel",
+]
+
+
+def md1_wait_ns(service_ns: float, rho: float) -> float:
+    """Mean M/D/1 queueing delay (excluding service).
+
+    Raises
+    ------
+    ValueError
+        If ``rho`` is not in [0, 1) -- the queue is unstable at 1.
+    """
+    if not 0 <= rho < 1:
+        raise ValueError(f"utilization must be in [0, 1), got {rho}")
+    return rho * service_ns / (2 * (1 - rho))
+
+
+def md1_latency_ns(service_ns: float, rho: float, pipeline_ns: float = 0.0) -> float:
+    """Mean sojourn time: wait + service + pipeline latency."""
+    return md1_wait_ns(service_ns, rho) + service_ns + pipeline_ns
+
+
+def link_service_time_ns(flits: int, bw_fraction: float = 1.0) -> float:
+    """Serialization time of a packet on a (possibly narrowed) link."""
+    if bw_fraction <= 0:
+        raise ValueError("bandwidth fraction must be positive")
+    return flits * FLIT_TIME_FULL_NS / bw_fraction
+
+
+def link_utilization(packets_per_ns: float, flits: int, bw_fraction: float = 1.0) -> float:
+    """Offered utilization of a link for a given packet rate."""
+    return packets_per_ns * link_service_time_ns(flits, bw_fraction)
+
+
+@dataclass(frozen=True)
+class LinkLoadModel:
+    """Analytic latency/power of one unidirectional link under load.
+
+    ``packets_per_ns`` of uniform ``flits``-sized packets on a link at
+    ``bw_fraction`` width.
+    """
+
+    packets_per_ns: float
+    flits: int = 5
+    bw_fraction: float = 1.0
+
+    @property
+    def service_ns(self) -> float:
+        """Per-packet serialization time."""
+        return link_service_time_ns(self.flits, self.bw_fraction)
+
+    @property
+    def utilization(self) -> float:
+        """Offered load as a fraction of link capacity."""
+        return self.packets_per_ns * self.service_ns
+
+    @property
+    def stable(self) -> bool:
+        """Whether the queue has a steady state."""
+        return self.utilization < 1.0
+
+    def mean_latency_ns(self) -> float:
+        """Mean per-packet latency including SERDES."""
+        if not self.stable:
+            return math.inf
+        return md1_latency_ns(self.service_ns, self.utilization, SERDES_FULL_NS)
+
+    def narrowing_cost_ns(self, new_bw_fraction: float) -> float:
+        """Extra mean latency from narrowing the link to ``new_bw_fraction``.
+
+        Infinite if the narrowed link would be unstable -- the analytic
+        analogue of a delay monitor predicting an unaffordable mode.
+        """
+        narrowed = LinkLoadModel(self.packets_per_ns, self.flits, new_bw_fraction)
+        if not narrowed.stable:
+            return math.inf
+        return narrowed.mean_latency_ns() - self.mean_latency_ns()

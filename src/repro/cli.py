@@ -1,0 +1,303 @@
+"""Command-line interface: ``repro-mnet``.
+
+Subcommands::
+
+    repro-mnet list                      # workloads / topologies / mechanisms
+    repro-mnet run --workload mixB ...   # one experiment, printed summary
+    repro-mnet figure fig5 [--full]      # regenerate a paper artifact
+
+The ``figure`` subcommand accepts: fig4, fig5, fig6, fig8, fig9, fig11,
+fig12, fig13, fig15, fig16, fig17, fig18, sec7.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.mechanisms import MECHANISM_NAMES
+from repro.harness.experiment import ExperimentConfig, POLICY_NAMES, run_experiment
+from repro.harness import figures as F
+from repro.harness.report import format_table
+from repro.harness.sweep import SweepRunner
+from repro.network.topology import TOPOLOGY_BUILDERS, TOPOLOGY_NAMES
+from repro.workloads import WORKLOAD_NAMES, get_profile
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        [name, f"{get_profile(name).footprint_gb:g} GB",
+         f"{get_profile(name).channel_util:.0%}", get_profile(name).description]
+        for name in WORKLOAD_NAMES
+    ]
+    print(format_table(
+        ["workload", "footprint", "target util", "description"], rows,
+        title="Workloads",
+    ))
+    print()
+    print("Topologies :", ", ".join(sorted(TOPOLOGY_BUILDERS)),
+          f"(paper evaluates: {', '.join(TOPOLOGY_NAMES)})")
+    print("Mechanisms :", ", ".join(MECHANISM_NAMES))
+    print("Policies   :", ", ".join(POLICY_NAMES))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = ExperimentConfig(
+        workload=args.workload,
+        topology=args.topology,
+        scale=args.scale,
+        mechanism=args.mechanism,
+        policy=args.policy,
+        alpha=args.alpha,
+        window_ns=args.window_us * 1000.0,
+        epoch_ns=args.epoch_us * 1000.0,
+        seed=args.seed,
+        wake_ns=args.wake_ns,
+        mapping=args.mapping,
+    )
+    result = run_experiment(config)
+    rows = [
+        ["modules", result.num_modules],
+        ["power per HMC", f"{result.power_per_hmc_w:.3f} W"],
+        ["network power", f"{result.network_power_w:.2f} W"],
+        ["idle I/O share", f"{result.idle_io_fraction:.0%}"],
+        ["I/O share", f"{result.breakdown.io_fraction:.0%}"],
+        ["throughput", f"{result.throughput_per_s:.3e} accesses/s"],
+        ["avg read latency", f"{result.avg_read_latency_ns:.1f} ns"],
+        ["max read latency", f"{result.max_read_latency_ns:.1f} ns"],
+        ["channel utilization", f"{result.channel_utilization:.1%}"],
+        ["avg link utilization", f"{result.link_utilization:.1%}"],
+        ["modules traversed/access", f"{result.avg_modules_traversed:.2f}"],
+        ["completed reads/writes",
+         f"{result.completed_reads}/{result.completed_writes}"],
+        ["epochs / violations", f"{result.epochs}/{result.violations}"],
+    ]
+    title = (f"{config.workload} on {config.scale} {config.topology}, "
+             f"{config.mechanism}/{config.policy}")
+    print(format_table(["metric", "value"], rows, title=title))
+
+    if args.baseline and config.policy != "none":
+        base = run_experiment(config.baseline())
+        saved = 1 - result.network_power_w / base.network_power_w
+        deg = 1 - result.throughput_per_s / base.throughput_per_s
+        print()
+        print(f"vs full power: {saved:+.1%} network power, {deg:+.2%} throughput cost")
+    return 0
+
+
+_FIGURES = {
+    "fig4": lambda r, s: _print_fig4(),
+    "fig5": lambda r, s: _rows(F.fig5_power_breakdown(r, s)),
+    "fig6": lambda r, s: _rows(F.fig6_modules_traversed(r, s)),
+    "fig8": lambda r, s: _rows(F.fig8_idle_io_fraction(r, s)),
+    "fig9": lambda r, s: _rows(F.fig9_utilization(r, s)),
+    "fig11": lambda r, s: _rows(F.fig11_unaware_power(r, s)),
+    "fig12": lambda r, s: _rows(F.fig12_unaware_performance(r, s)),
+    "fig13": lambda r, s: _rows(sorted(F.fig13_link_hours(r, s).items())),
+    "fig15": lambda r, s: _rows(F.fig15_aware_vs_unaware(r, s)),
+    "fig16": lambda r, s: _rows(F.fig16_per_workload_savings(r, s)),
+    "fig17": lambda r, s: _rows(F.fig17_aware_performance(r, s)),
+    "fig18": lambda r, s: _rows(F.fig18_dvfs_sensitivity(r, s)),
+    "sec7": lambda r, s: _rows(sorted(F.sec7_static_comparison(r, s).items())),
+}
+
+
+def _print_fig4() -> None:
+    for name, points in F.fig4_workload_cdfs():
+        series = " ".join(f"({x:g},{y:.2f})" for x, y in points)
+        print(f"{name:6s} {series}")
+
+
+def _rows(rows) -> None:
+    for row in rows:
+        if isinstance(row, tuple) and len(row) == 2 and isinstance(row[1], dict):
+            print(row[0], {k: round(v, 4) for k, v in row[1].items()})
+        else:
+            print("  ".join(str(c) for c in (row if isinstance(row, (list, tuple)) else [row])))
+
+
+def _cmd_figure(args) -> int:
+    settings = F.RunSettings.from_env()
+    if args.full:
+        settings = F.RunSettings(
+            workloads=WORKLOAD_NAMES, window_ns=1_000_000.0, epoch_ns=50_000.0
+        )
+    runner = SweepRunner()
+    fn = _FIGURES.get(args.name)
+    if fn is None:
+        print(f"unknown figure {args.name!r}; choose from {sorted(_FIGURES)}",
+              file=sys.stderr)
+        return 2
+    fn(runner, settings)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-mnet argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mnet",
+        description="Memory-network power simulation (HPCA 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, topologies, mechanisms")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("--workload", default="mixB", choices=WORKLOAD_NAMES)
+    run_p.add_argument("--topology", default="daisychain",
+                       choices=sorted(TOPOLOGY_BUILDERS))
+    run_p.add_argument("--scale", default="small", choices=["small", "big"])
+    run_p.add_argument("--mechanism", default="FP", choices=MECHANISM_NAMES)
+    run_p.add_argument("--policy", default="none", choices=POLICY_NAMES)
+    run_p.add_argument("--alpha", type=float, default=0.05)
+    run_p.add_argument("--window-us", type=float, default=500.0)
+    run_p.add_argument("--epoch-us", type=float, default=25.0)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--wake-ns", type=float, default=14.0)
+    run_p.add_argument("--mapping", default="contiguous",
+                       choices=["contiguous", "interleaved"])
+    run_p.add_argument("--baseline", action="store_true",
+                       help="also run the full-power baseline and compare")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper artifact")
+    fig_p.add_argument("name", choices=sorted(_FIGURES))
+    fig_p.add_argument("--full", action="store_true",
+                       help="all 14 workloads, 1 ms windows (slow)")
+
+    sweep_p = sub.add_parser("sweep-alpha",
+                             help="trade-off curve over alpha values")
+    sweep_p.add_argument("--workload", default="mg.D", choices=WORKLOAD_NAMES)
+    sweep_p.add_argument("--topology", default="star",
+                         choices=sorted(TOPOLOGY_BUILDERS))
+    sweep_p.add_argument("--scale", default="big", choices=["small", "big"])
+    sweep_p.add_argument("--mechanism", default="VWL", choices=MECHANISM_NAMES)
+    sweep_p.add_argument("--policy", default="aware",
+                         choices=["unaware", "aware"])
+    sweep_p.add_argument("--alphas", type=float, nargs="+",
+                         default=[0.025, 0.05, 0.10, 0.20, 0.30])
+    sweep_p.add_argument("--window-us", type=float, default=300.0)
+    sweep_p.add_argument("--epoch-us", type=float, default=20.0)
+
+    batch_p = sub.add_parser("batch", help="run a JSON batch spec")
+    batch_p.add_argument("spec", help="batch spec file (see harness.io.load_batch)")
+    batch_p.add_argument("--out-json", help="write results as JSON")
+    batch_p.add_argument("--out-csv", help="write results as CSV")
+
+    trace_p = sub.add_parser("trace", help="record a workload trace to a file")
+    trace_p.add_argument("path", help="output file (.gz for compression)")
+    trace_p.add_argument("--workload", default="mixB", choices=WORKLOAD_NAMES)
+    trace_p.add_argument("--topology", default="daisychain",
+                         choices=sorted(TOPOLOGY_BUILDERS))
+    trace_p.add_argument("--scale", default="small", choices=["small", "big"])
+    trace_p.add_argument("--window-us", type=float, default=200.0)
+    trace_p.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+def _cmd_sweep_alpha(args) -> int:
+    from repro.harness.charts import line_chart
+    from repro.harness.pareto import pareto_frontier, sweep_alpha
+
+    runner = SweepRunner()
+    config = ExperimentConfig(
+        workload=args.workload,
+        topology=args.topology,
+        scale=args.scale,
+        mechanism=args.mechanism,
+        policy=args.policy,
+        window_ns=args.window_us * 1000.0,
+        epoch_ns=args.epoch_us * 1000.0,
+    )
+    points = sweep_alpha(runner, config, alphas=args.alphas)
+    rows = [
+        [f"{p.alpha:.1%}", f"{p.power_saved:.1%}", f"{p.degradation:.2%}"]
+        for p in points
+    ]
+    print(format_table(
+        ["alpha", "power saved", "throughput cost"], rows,
+        title=f"{args.workload} / {args.scale} {args.topology} / "
+              f"{args.mechanism} ({args.policy})",
+    ))
+    print()
+    print(line_chart(
+        [("sweep", [(p.degradation * 100, p.power_saved * 100) for p in points])],
+        width=50, height=12,
+        title="power saved (%) vs throughput cost (%)",
+    ))
+    frontier = pareto_frontier(points)
+    print(f"\nPareto-optimal points: {len(frontier)}/{len(points)}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.mechanisms import make_mechanism
+    from repro.network.network import MemoryNetwork
+    from repro.network.topology import build_topology
+    from repro.sim.engine import Simulator
+    from repro.workloads import ClosedLoopWorkload, contiguous_mapping
+    from repro.workloads.traces import TraceRecorder, save_trace
+
+    profile = get_profile(args.workload)
+    mapping = contiguous_mapping(profile.footprint_gb, args.scale)
+    sim = Simulator()
+    topology = build_topology(args.topology, mapping.num_modules)
+    network = MemoryNetwork(sim, topology, make_mechanism("FP"), mapping)
+    recorder = TraceRecorder(network)
+    workload = ClosedLoopWorkload(
+        network, profile, stop_ns=args.window_us * 1000.0, seed=args.seed
+    )
+    network.start()
+    workload.start()
+    sim.run(until=args.window_us * 1000.0)
+    count = save_trace(args.path, recorder.records)
+    print(f"Wrote {count} accesses ({network.injected_reads} reads, "
+          f"{network.injected_writes} writes) to {args.path}")
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from repro.harness.io import load_batch, save_results_csv, save_results_json
+
+    configs = load_batch(args.spec)
+    print(f"Running {len(configs)} experiments from {args.spec} ...")
+    runner = SweepRunner()
+    results = []
+    for i, config in enumerate(configs, 1):
+        result = runner.run(config)
+        results.append(result)
+        print(f"  [{i}/{len(configs)}] {config.workload}/{config.topology}/"
+              f"{config.mechanism}/{config.policy}: "
+              f"{result.power_per_hmc_w:.2f} W/HMC")
+    if args.out_json:
+        save_results_json(args.out_json, results)
+        print(f"Wrote {args.out_json}")
+    if args.out_csv:
+        save_results_csv(args.out_csv, results)
+        print(f"Wrote {args.out_csv}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "sweep-alpha":
+        return _cmd_sweep_alpha(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

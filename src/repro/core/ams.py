@@ -1,0 +1,61 @@
+"""Allowable-memory-slowdown (AMS) accounting -- Equation 1 of the paper.
+
+The paper's feedback-control budget: over the life of the run, a module
+(or the whole network) may accumulate at most ``alpha`` percent of its
+*full-power epoch latency* (FEL) as extra aggregate read latency.  With
+``FEL_{m,t}`` the estimated aggregate latency module ``m`` would have
+seen in epoch ``t`` had every link run at full power, and ``AEL_{m,t}``
+the measured aggregate latency, the AMS for the next epoch is
+
+    AMS(t+1) = alpha% * sum_t FEL_t  -  sum_t (AEL_t - FEL_t)
+
+i.e. the allowance earned so far minus the overhead already spent.  A
+negative AMS means past overshoot: the subject must run at full power
+until the allowance recovers.
+
+``FEL``/``AEL`` for a module combine its DRAM read latency term
+(#reads x 30 ns) with the measured / full-power-estimated read-packet
+latency over its *connectivity links* (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SlowdownAccount", "module_fel_ael"]
+
+
+@dataclass
+class SlowdownAccount:
+    """Cumulative Equation 1 state for one module or the whole network."""
+
+    cum_fel: float = 0.0
+    cum_overhead: float = 0.0
+
+    def record_epoch(self, fel: float, ael: float) -> None:
+        """Fold one epoch's FEL/AEL pair into the running sums."""
+        self.cum_fel += fel
+        self.cum_overhead += ael - fel
+
+    def ams(self, alpha: float) -> float:
+        """Allowable memory slowdown for the next epoch (may be negative).
+
+        ``alpha`` is a fraction (0.025 for the paper's 2.5 %).
+        """
+        return alpha * self.cum_fel - self.cum_overhead
+
+
+def module_fel_ael(module, dram_read_latency_ns: float) -> tuple:
+    """(FEL, AEL) of ``module`` for the epoch now ending.
+
+    Both include the DRAM term (reads x fixed access latency) plus the
+    aggregate read-packet latency over the module's connectivity links:
+    measured for AEL, full-power delay-monitor estimated for FEL.
+    """
+    dram = module.ep_dram_reads * dram_read_latency_ns
+    fel = dram
+    ael = dram
+    for link in module.connectivity_links():
+        fel += link.ep_vlat[0]
+        ael += link.ep_actual_read_lat
+    return fel, ael

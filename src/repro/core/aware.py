@@ -1,0 +1,312 @@
+"""Network-aware power management (Section VI) -- the paper's contribution.
+
+Three ideas on top of the network-unaware scheme:
+
+**Iterative Slowdown Propagation (ISP, Section VI-A)** -- instead of
+each module keeping the AMS it generated, the network-level AMS
+(Equation 1, computed at the head module) is redistributed over the
+whole network by a distributed scatter/gather message-passing algorithm
+(capped at three iterations):
+
+* *scatter* pushes a per-candidate-slowdown (PCS) value downstream; each
+  slowdown-receiving candidate (SRC) link adds the PCS to its budget,
+  selects the lowest-power mode whose FLO fits, and forwards its surplus
+  split evenly over its downstream SRCs;
+* *gather* counts downstream SRCs, collects unused AMS, and enforces
+  that an upstream link always runs at an equal-or-higher power mode
+  than any downstream link of the same type (traffic only attenuates
+  moving away from the processor, so utilization is monotone).
+
+**Response-link wakeup hiding (Section VI-B)** -- response links along
+the whole return path wake proactively, staggered so the packet never
+waits (``response_wake_mode="path"``), and refuse to sleep while reads
+are outstanding in their subtree.  Response links therefore contribute
+no ROO latency overhead: under ROO-only they are not SRCs, and under
+width+ROO combos the head assigns three quarters of the unused AMS to
+request links.
+
+**Congestion discount (Section VI-C)** -- latency overhead suffered
+downstream of a congested response link is not *memory* latency
+overhead (the packet would merely have queued upstream sooner), so each
+response link subtracts ``min(downstream_overhead * QF, QD)`` from the
+overhead it reports upstream during the first gather.
+
+Leftover AMS after ISP parks at the head module; links that trip their
+AMS mid-epoch may request up to four grants of 1/16th of the pool each
+before being forced to full power (Section VI-A3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.ams import SlowdownAccount, module_fel_ael
+from repro.core.mechanisms import LinkModeState
+from repro.core.policy import (
+    ManagementPolicy,
+    ordered_candidates,
+    select_lowest_power_mode,
+)
+from repro.network.direction import LinkDir
+
+if TYPE_CHECKING:  # import-cycle-free type hints only
+    from repro.network.links import LinkController
+    from repro.network.network import MemoryNetwork
+
+__all__ = ["NetworkAwarePolicy"]
+
+
+class NetworkAwarePolicy(ManagementPolicy):
+    """ISP-based AMS redistribution with wakeup hiding and QD/QF discount."""
+
+    response_wake_mode = "path"
+    aware_sleep_gating = True
+
+    #: Cap on scatter/gather rounds (Section VI-A).
+    ISP_ITERATIONS: int = 3
+    #: Each violation grant hands out 1/16th of the original leftover.
+    GRANT_FRACTION: float = 1.0 / 16.0
+    #: A link may claim at most a quarter of the pool (4 grants).
+    MAX_GRANTS_PER_LINK: int = 4
+    #: "Big fraction" of the next-lower mode's FLO for SRC eligibility.
+    SRC_THRESHOLD: float = 0.25
+    #: Share of unused AMS scattered to request links for width+ROO combos.
+    REQUEST_POOL_SHARE: float = 0.75
+
+    def __init__(
+        self,
+        network: MemoryNetwork,
+        alpha: float,
+        epoch_ns: float = 100_000.0,
+        isp_iterations: int = 3,
+        enable_wakeup_hiding: bool = True,
+        enable_congestion_discount: bool = True,
+        enable_grant_pool: bool = True,
+    ) -> None:
+        super().__init__(network, alpha, epoch_ns)
+        if isp_iterations < 1:
+            raise ValueError("need at least one ISP iteration")
+        #: Ablation knobs (all on = the paper's scheme).
+        self.isp_iterations = isp_iterations
+        self.enable_wakeup_hiding = enable_wakeup_hiding
+        self.enable_congestion_discount = enable_congestion_discount
+        self.enable_grant_pool = enable_grant_pool
+        if not enable_wakeup_hiding:
+            # Fall back to the unaware scheme's destination-module-only
+            # proactive wakeup (Section VI-B disabled).
+            self.response_wake_mode = "module"
+            self.aware_sleep_gating = False
+        self.account = SlowdownAccount()
+        self._grant_pool = 0.0
+        self._grant_unit = 0.0
+        self.grants_issued = 0
+        mech = network.mechanism
+        self._roo_only = mech.has_roo and not mech.has_width_scaling
+        self._combo = mech.has_roo and mech.has_width_scaling
+        self._lowest_roo = (
+            len(mech.roo_thresholds) - 1 if mech.has_roo else None
+        )
+        # Per-epoch candidate caches: link -> ordered candidate list and
+        # state -> flo lookup.
+        self._cands: Dict[LinkController, List[tuple]] = {}
+        self._flo: Dict[LinkController, Dict[Tuple[int, Optional[int]], float]] = {}
+
+    # ------------------------------------------------------------------
+    # Epoch boundary
+    # ------------------------------------------------------------------
+    def _assign_budgets(self) -> Dict[LinkController, tuple]:
+        network_fel, network_overhead = self._discounted_epoch_totals()
+        self.account.record_epoch(network_fel, network_fel + network_overhead)
+        budget = self.account.ams(self.alpha)
+
+        self._prepare_isp()
+        for _ in range(self.isp_iterations):
+            self._gather()
+            unused = self._unused(budget)
+            self._scatter(unused)
+        self._gather()
+        leftover = max(0.0, self._unused_total(budget))
+        self._grant_pool = leftover if self.enable_grant_pool else 0.0
+        self._grant_unit = self._grant_pool * self.GRANT_FRACTION
+
+        assignments: Dict[LinkController, tuple] = {}
+        for link in self.network.all_links():
+            assignments[link] = (link.ams, link.isp_sel)
+        return assignments
+
+    # ------------------------------------------------------------------
+    # Equation 1 with the Section VI-C congestion discount
+    # ------------------------------------------------------------------
+    def _discounted_epoch_totals(self) -> Tuple[float, float]:
+        topo = self.network.topology
+        modules = self.network.modules
+        n = topo.num_modules
+        own = [0.0] * n
+        total_fel = 0.0
+        for i, module in enumerate(modules):
+            fel, ael = module_fel_ael(module, self.dram_read_latency_ns)
+            total_fel += fel
+            own[i] = ael - fel
+        # Leaves first: contribution = own + discounted child contributions.
+        order = sorted(range(n), key=topo.depth, reverse=True)
+        contribution = [0.0] * n
+        for m in order:
+            down = sum(contribution[c] for c in topo.children[m])
+            if down > 0 and self.enable_congestion_discount:
+                resp = modules[m].resp_out
+                qf = (
+                    resp.ep_queued / resp.ep_resp_packets
+                    if resp.ep_resp_packets
+                    else 0.0
+                )
+                down -= min(down * qf, resp.ep_qd)
+            contribution[m] = own[m] + down
+        return total_fel, contribution[0]
+
+    # ------------------------------------------------------------------
+    # ISP
+    # ------------------------------------------------------------------
+    def _link_of(self, module_id: int, direction: LinkDir) -> LinkController:
+        module = self.network.modules[module_id]
+        return module.req_in if direction is LinkDir.REQUEST else module.resp_out
+
+    def _prepare_isp(self) -> None:
+        self._cands.clear()
+        self._flo.clear()
+        hiding = self.enable_wakeup_hiding
+        for link in self.network.all_links():
+            is_resp = link.direction is LinkDir.RESPONSE
+            restrict = is_resp and link.mech.has_roo and hiding
+            cands = ordered_candidates(link, self.epoch_ns, restrict_roo_lowest=restrict)
+            self._cands[link] = cands
+            self._flo[link] = {
+                (c[0].width_index, c[0].roo_index): c[2] for c in cands
+            }
+            link.ams = 0.0
+            link.isp_sel = cands[0][0]
+            if is_resp and self._roo_only and hiding:
+                link.isp_src = False
+            else:
+                link.isp_src = len(cands) > 1
+            link.isp_dsrc = 0
+
+    def _sel_flo(self, link: LinkController) -> float:
+        sel = link.isp_sel
+        return self._flo[link].get((sel.width_index, sel.roo_index), 0.0)
+
+    def _gather(self) -> None:
+        """Count downstream SRCs and enforce upstream >= downstream power."""
+        topo = self.network.topology
+        order = sorted(range(topo.num_modules), key=topo.depth, reverse=True)
+        for direction in (LinkDir.REQUEST, LinkDir.RESPONSE):
+            dsrc = [0] * topo.num_modules
+            for m in order:
+                up = self._link_of(m, direction)
+                total = 0
+                for c in topo.children[m]:
+                    down = self._link_of(c, direction)
+                    total += dsrc[c] + (1 if down.isp_src else 0)
+                    self._enforce_pair(up, down)
+                dsrc[m] = total
+                up.isp_dsrc = total
+
+    def _enforce_pair(self, up: LinkController, down: LinkController) -> None:
+        """Raise ``up``'s power so it is never below ``down``'s."""
+        u, d = up.isp_sel, down.isp_sel
+        new_w = min(u.width_index, d.width_index)
+        new_r = u.roo_index
+        if u.roo_index is not None and d.roo_index is not None:
+            new_r = min(u.roo_index, d.roo_index)
+        if new_w != u.width_index or new_r != u.roo_index:
+            up.isp_sel = LinkModeState(new_w, new_r)
+            up.ams = self._sel_flo(up)
+
+    def _unused_total(self, budget: float) -> float:
+        spent = sum(self._sel_flo(link) for link in self.network.all_links())
+        return budget - spent
+
+    def _unused(self, budget: float) -> Dict[LinkDir, float]:
+        """Split the unused network AMS into per-direction scatter pools."""
+        total = self._unused_total(budget)
+        n_req = sum(
+            1
+            for m in self.network.modules
+            if m.req_in.isp_src
+        )
+        n_resp = sum(
+            1
+            for m in self.network.modules
+            if m.resp_out.isp_src
+        )
+        if self._roo_only and self.enable_wakeup_hiding:
+            return {LinkDir.REQUEST: total, LinkDir.RESPONSE: 0.0}
+        if self._combo and self.enable_wakeup_hiding:
+            return {
+                LinkDir.REQUEST: total * self.REQUEST_POOL_SHARE,
+                LinkDir.RESPONSE: total * (1.0 - self.REQUEST_POOL_SHARE),
+            }
+        # Width-only mechanisms share one pool: identical PCS both ways.
+        n = n_req + n_resp
+        if n == 0:
+            return {LinkDir.REQUEST: 0.0, LinkDir.RESPONSE: 0.0}
+        return {
+            LinkDir.REQUEST: total * n_req / n,
+            LinkDir.RESPONSE: total * n_resp / n,
+        }
+
+    def _scatter(self, pools: Dict[LinkDir, float]) -> None:
+        topo = self.network.topology
+        for direction in (LinkDir.REQUEST, LinkDir.RESPONSE):
+            head = self._link_of(0, direction)
+            n_src = head.isp_dsrc + (1 if head.isp_src else 0)
+            if n_src == 0:
+                continue
+            pcs0 = pools[direction] / n_src
+            stack = [(0, pcs0)]
+            while stack:
+                m, pcs = stack.pop()
+                link = self._link_of(m, direction)
+                out_pcs = self._scatter_visit(link, pcs)
+                for c in topo.children[m]:
+                    stack.append((c, out_pcs))
+
+    def _scatter_visit(self, link: LinkController, pcs: float) -> float:
+        if not link.isp_src:
+            return pcs
+        new_ams = link.ams + pcs
+        cands = self._cands[link]
+        state, flo = select_lowest_power_mode(cands, new_ams)
+        dsrc = link.isp_dsrc
+        out_pcs = pcs + ((new_ams - flo) / dsrc if dsrc > 0 else 0.0)
+        link.isp_sel = state
+        link.ams = flo
+        nxt = self._next_lower(cands, state)
+        link.isp_src = nxt is not None and (
+            pcs + link.ams >= self.SRC_THRESHOLD * nxt[2]
+        )
+        return out_pcs
+
+    @staticmethod
+    def _next_lower(cands: List[tuple], state: LinkModeState) -> Optional[tuple]:
+        for i, cand in enumerate(cands):
+            if cand[0] == state:
+                return cands[i + 1] if i + 1 < len(cands) else None
+        return None
+
+    # ------------------------------------------------------------------
+    # Leftover-AMS violation grants (Section VI-A3)
+    # ------------------------------------------------------------------
+    def _on_violation(self, link: LinkController) -> None:
+        self.violations += 1
+        if (
+            link.grants_used < self.MAX_GRANTS_PER_LINK
+            and self._grant_pool > 0
+            and self._grant_unit > 0
+        ):
+            grant = min(self._grant_unit, self._grant_pool)
+            self._grant_pool -= grant
+            link.grants_used += 1
+            link.ams += grant
+            self.grants_issued += 1
+            return
+        link.force_full_power(self.sim.now)

@@ -1,0 +1,153 @@
+"""Hardware-overhead accounting for the management schemes.
+
+The paper argues its schemes are cheap: a handful of counters per link
+controller, per-module Equation 1 accumulators, and -- for ISP -- one
+64-byte message per module per gather step.  This module makes those
+claims quantitative for any concrete network, so design-space studies
+can weigh power savings against controller cost:
+
+* :func:`link_counter_bits` -- storage per link controller, itemized;
+* :func:`module_counter_bits` -- per-module Equation 1 state;
+* :func:`network_overhead` -- totals for a topology: bits of state,
+  ISP messages and bytes per epoch, and the wire time those messages
+  occupy (a sanity check that management traffic is negligible).
+
+Counter widths follow the quantities they hold: latency accumulators
+cover an epoch of aggregate nanoseconds (48 bits is conservative),
+histogram buckets and packet counts fit in 24 bits at HMC rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mechanisms import MechanismConfig
+from repro.network.topology import Topology
+
+__all__ = [
+    "CounterBudget",
+    "link_counter_bits",
+    "module_counter_bits",
+    "network_overhead",
+    "LATENCY_COUNTER_BITS",
+    "COUNT_COUNTER_BITS",
+    "ISP_MESSAGE_BYTES",
+]
+
+#: Width of an aggregate-latency accumulator (ns over one epoch).
+LATENCY_COUNTER_BITS: int = 48
+#: Width of an event counter (packets, wakeups, histogram bucket).
+COUNT_COUNTER_BITS: int = 24
+#: Section VI-A2: each module sends a single 64 B packet per gather.
+ISP_MESSAGE_BYTES: int = 64
+
+
+@dataclass(frozen=True)
+class CounterBudget:
+    """Bits of counter state, itemized by purpose."""
+
+    delay_monitors: int = 0
+    actual_latency: int = 0
+    idle_histogram: int = 0
+    wake_sampling: int = 0
+    congestion: int = 0
+    equation1: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        """All state bits."""
+        return (
+            self.delay_monitors
+            + self.actual_latency
+            + self.idle_histogram
+            + self.wake_sampling
+            + self.congestion
+            + self.equation1
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        """All state, in bytes."""
+        return self.total_bits / 8
+
+
+def link_counter_bits(mechanism: MechanismConfig, network_aware: bool) -> CounterBudget:
+    """Per-link-controller counter storage for a mechanism/scheme."""
+    n_width = len(mechanism.width_modes)
+    # One virtual queue per width mode: a next-free timestamp plus a
+    # latency accumulator (the Ahn'14 delay monitor + counter pair).
+    delay = n_width * 2 * LATENCY_COUNTER_BITS
+    actual = LATENCY_COUNTER_BITS
+    hist = 0
+    sampling = 0
+    if mechanism.has_roo:
+        buckets = len(mechanism.roo_thresholds)
+        # Per bucket: a count and a summed-length register.
+        hist = buckets * (COUNT_COUNTER_BITS + LATENCY_COUNTER_BITS)
+        # Sample window end, in-window count, total, sample count.
+        sampling = LATENCY_COUNTER_BITS + 3 * COUNT_COUNTER_BITS
+    congestion = 0
+    if network_aware:
+        # QD accumulator + queued/total packet counters (Section VI-C).
+        congestion = LATENCY_COUNTER_BITS + 2 * COUNT_COUNTER_BITS
+    return CounterBudget(
+        delay_monitors=delay,
+        actual_latency=actual,
+        idle_histogram=hist,
+        wake_sampling=sampling,
+        congestion=congestion,
+    )
+
+
+def module_counter_bits() -> CounterBudget:
+    """Per-module Equation 1 state: cumulative FEL and overhead sums
+    plus the epoch's DRAM read count."""
+    return CounterBudget(
+        equation1=2 * LATENCY_COUNTER_BITS + COUNT_COUNTER_BITS
+    )
+
+
+@dataclass(frozen=True)
+class NetworkOverhead:
+    """Totals for one network under one scheme."""
+
+    total_counter_bits: int
+    counter_bytes_per_module: float
+    isp_messages_per_epoch: int
+    isp_bytes_per_epoch: int
+    isp_wire_time_ns: float
+    isp_wire_fraction_of_epoch: float
+
+
+def network_overhead(
+    topology: Topology,
+    mechanism: MechanismConfig,
+    network_aware: bool,
+    epoch_ns: float = 100_000.0,
+    isp_iterations: int = 3,
+) -> NetworkOverhead:
+    """Aggregate hardware/management overheads for a whole network."""
+    n = topology.num_modules
+    per_link = link_counter_bits(mechanism, network_aware).total_bits
+    per_module = module_counter_bits().total_bits
+    links = 2 * n  # one request + one response controller per module
+    total_bits = links * per_link + n * per_module
+
+    messages = 0
+    message_bytes = 0
+    wire_ns = 0.0
+    if network_aware:
+        # Per iteration: one gather message per module upstream and one
+        # scatter message per module downstream (64 B each).
+        messages = isp_iterations * 2 * n
+        message_bytes = messages * ISP_MESSAGE_BYTES
+        # Each 64 B message is 4 flits at 0.64 ns per flit.
+        wire_ns = messages * 4 * 0.64
+    return NetworkOverhead(
+        total_counter_bits=total_bits,
+        counter_bytes_per_module=total_bits / 8 / n,
+        isp_messages_per_epoch=messages,
+        isp_bytes_per_epoch=message_bytes,
+        isp_wire_time_ns=wire_ns,
+        isp_wire_fraction_of_epoch=wire_ns / epoch_ns if epoch_ns > 0 else 0.0,
+    )

@@ -1,0 +1,80 @@
+"""Static fat/tapered-tree bandwidth selection (Section VII-A).
+
+The alternative the paper argues against: pick each link's bandwidth
+*statically* from the topology.  With ``S(d)`` the number of links at
+hop distance ``d`` and ``T`` the total number of links, a hybrid
+fat+tapered tree sets the bandwidth of a link at hop distance ``d`` to
+
+    1/S(d) * (1 - sum_{i=1}^{d-1} S(i) / T)
+
+of the maximum, raised to the nearest available width option.  Combined
+with page-interleaved address mapping the *queuing* overhead is nil when
+traffic is uniform, but packets still serialize more slowly over narrow
+links, so the scheme offers a single untunable power/performance point
+with unpredictable worst-case overheads -- which is what the Section
+VII-A comparison shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.mechanisms import LinkModeState
+from typing import TYPE_CHECKING
+
+from repro.network.topology import Topology
+
+if TYPE_CHECKING:  # import-cycle-free type hint only
+    from repro.network.network import MemoryNetwork
+
+__all__ = ["static_width_fractions", "StaticBaselinePolicy"]
+
+
+def static_width_fractions(topology: Topology) -> Dict[int, float]:
+    """Per-module target bandwidth fraction for its connectivity link.
+
+    Returns ``{module_id: fraction}`` following the fat+tapered-tree
+    formula above (before rounding to an available width option).
+    """
+    counts = topology.links_by_depth()
+    total = topology.num_modules
+    fractions: Dict[int, float] = {}
+    for module in range(topology.num_modules):
+        d = topology.depth(module)
+        upstream = sum(counts[i] for i in range(1, d))
+        frac = (1.0 / counts[d]) * (1.0 - upstream / total)
+        fractions[module] = max(0.0, min(1.0, frac))
+    return fractions
+
+
+class StaticBaselinePolicy:
+    """Applies the static width selection once, at simulation start.
+
+    Selects, per link, the narrowest width mode whose bandwidth still
+    meets the formula's fraction.  ROO modes are never engaged (the
+    paper's static alternative covers bandwidth only).
+    """
+
+    def __init__(self, network: MemoryNetwork) -> None:
+        self.network = network
+        self.fractions = static_width_fractions(network.topology)
+        self.selected: Dict[int, int] = {}
+
+    def start(self) -> None:
+        """Set every connectivity link's static width mode."""
+        mech = self.network.mechanism
+        for module in self.network.modules:
+            target = self.fractions[module.module_id]
+            width_idx = 0
+            for i, mode in enumerate(mech.width_modes):
+                if mode.bw_fraction >= target:
+                    width_idx = i
+                else:
+                    break
+            self.selected[module.module_id] = width_idx
+            state = LinkModeState(
+                width_idx, 0 if mech.has_roo else None
+            )
+            for link in module.connectivity_links():
+                link.roo_enabled = False
+                link.set_mode(state, self.network.sim.now)

@@ -1,0 +1,60 @@
+"""Network-unaware power management (Section V).
+
+The first-ever adaptation of prior single-module memory power management
+to memory networks.  Every module *independently*:
+
+1. tracks its full-power epoch latency (FEL) and actual epoch latency
+   (AEL) with the Section V-A hardware counters;
+2. computes its own AMS via Equation 1 (:mod:`repro.core.ams`);
+3. splits the AMS equally among its connectivity links;
+4. each link picks the lowest-power mode whose estimated future latency
+   overhead (FLO) fits its share (Section V-B);
+5. a link that exceeds its AMS mid-epoch trips to full power for the
+   remainder of the epoch.
+
+Response-link wakeups of the module being accessed are hidden under the
+DRAM access (the MemBlaze adaptation): ``response_wake_mode="module"``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.core.ams import SlowdownAccount, module_fel_ael
+from repro.core.policy import (
+    ManagementPolicy,
+    ordered_candidates,
+    select_lowest_power_mode,
+)
+if TYPE_CHECKING:  # import-cycle-free type hints only
+    from repro.network.links import LinkController
+    from repro.network.network import MemoryNetwork
+
+__all__ = ["NetworkUnawarePolicy"]
+
+
+class NetworkUnawarePolicy(ManagementPolicy):
+    """Per-module AMS budgeting with no cross-module coordination."""
+
+    response_wake_mode = "module"
+    aware_sleep_gating = False
+
+    def __init__(self, network: MemoryNetwork, alpha: float, epoch_ns: float = 100_000.0) -> None:
+        super().__init__(network, alpha, epoch_ns)
+        self.accounts: List[SlowdownAccount] = [
+            SlowdownAccount() for _ in network.modules
+        ]
+
+    def _assign_budgets(self) -> Dict[LinkController, tuple]:
+        assignments: Dict[LinkController, tuple] = {}
+        for module, account in zip(self.network.modules, self.accounts):
+            fel, ael = module_fel_ael(module, self.dram_read_latency_ns)
+            account.record_epoch(fel, ael)
+            module_ams = account.ams(self.alpha)
+            links = module.connectivity_links()
+            share = module_ams / len(links) if links else 0.0
+            for link in links:
+                candidates = ordered_candidates(link, self.epoch_ns)
+                state, _flo = select_lowest_power_mode(candidates, share)
+                assignments[link] = (share, state)
+        return assignments

@@ -1,0 +1,6 @@
+"""DRAM substrate: HMC vault timing model with Table I parameters."""
+
+from repro.dram.timing import DEFAULT_TIMING, DramTiming
+from repro.dram.vault import Vault, VaultAccess, VaultSet
+
+__all__ = ["DramTiming", "DEFAULT_TIMING", "Vault", "VaultAccess", "VaultSet"]

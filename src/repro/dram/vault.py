@@ -1,0 +1,209 @@
+"""Vault (DRAM channel) timing model.
+
+A vault is an independent DRAM channel inside an HMC: a handful of banks
+sharing one data bus.  We model, per the close-page policy of Table I:
+
+* per-bank row-cycle occupancy (tRAS + tRP per read),
+* the tRRD activate-to-activate window within a vault,
+* data-bus serialization (one 64 B burst per ``burst_ns``),
+* a bounded command queue (``vault_buffer_entries``).
+
+The model is *timeline based*: each resource keeps a "next free" time and
+an access reserves the earliest instant satisfying all constraints.  This
+reproduces queueing and bank conflicts without simulating individual DRAM
+commands, which is all the paper's power study needs (it charges a fixed
+30 ns read latency in its slowdown accounting and derives DRAM power from
+utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dram.timing import DramTiming
+
+__all__ = ["Vault", "VaultAccess"]
+
+
+@dataclass(frozen=True)
+class VaultAccess:
+    """Outcome of scheduling one access on a vault.
+
+    ``start`` is when the activate begins, ``data_ready`` when read data
+    has fully burst (response packet can depart), ``done`` when the bank
+    becomes available again.
+    """
+
+    start: float
+    data_ready: float
+    done: float
+
+    @property
+    def latency_from(self) -> float:
+        """Data-ready latency measured from ``start``."""
+        return self.data_ready - self.start
+
+
+class Vault:
+    """One vault: banks plus a shared data bus, close-page policy."""
+
+    __slots__ = (
+        "timing",
+        "_bank_free",
+        "_bus_free",
+        "_last_act",
+        "_queue_free",
+        "_open_rows",
+        "busy_ns",
+        "reads",
+        "writes",
+        "row_hits",
+        "row_misses",
+    )
+
+    def __init__(self, timing: DramTiming) -> None:
+        self.timing = timing
+        self._bank_free: List[float] = [0.0] * timing.banks_per_vault
+        self._bus_free: float = 0.0
+        self._last_act: float = -1e18
+        #: Departure times of queued commands (bounded FIFO occupancy).
+        self._queue_free: List[float] = []
+        #: Open row per bank (open-page policy only).
+        self._open_rows: List[Optional[int]] = [None] * timing.banks_per_vault
+        self.busy_ns: float = 0.0
+        self.reads: int = 0
+        self.writes: int = 0
+        self.row_hits: int = 0
+        self.row_misses: int = 0
+
+    def access(self, now: float, bank: int, is_read: bool, row: int = 0) -> VaultAccess:
+        """Schedule an access arriving at ``now`` on ``bank``/``row``.
+
+        Returns the reserved timing and advances the vault state.  If the
+        command queue is full the access stalls until an entry frees.
+        ``row`` only matters under the open-page policy.
+        """
+        t = self.timing
+        bank %= t.banks_per_vault
+
+        # Bounded command queue: wait for an entry if all are in flight.
+        start_earliest = now
+        self._queue_free = [d for d in self._queue_free if d > now]
+        if len(self._queue_free) >= t.vault_buffer_entries:
+            start_earliest = max(start_earliest, min(self._queue_free))
+
+        if t.page_policy == "open":
+            access = self._access_open(start_earliest, bank, is_read, row)
+        else:
+            access = self._access_close(start_earliest, bank, is_read)
+        self.busy_ns += t.burst_ns
+        self._queue_free.append(access.done)
+        if is_read:
+            self.reads += 1
+        else:
+            self.writes += 1
+        return access
+
+    def _access_close(self, earliest: float, bank: int, is_read: bool) -> VaultAccess:
+        """Close-page: activate + access + precharge every time."""
+        t = self.timing
+        # Activate constraints: bank must be precharged, tRRD since the
+        # previous activate in this vault.
+        act = max(earliest, self._bank_free[bank], self._last_act + t.tRRD)
+        if is_read:
+            data_start = act + t.tRCD + t.tCL
+            data_start = max(data_start, self._bus_free)
+            data_ready = data_start + t.burst_ns
+            done = max(act + t.read_bank_occupancy_ns, data_ready + t.tRP)
+        else:
+            data_start = max(act + t.tRCD, self._bus_free)
+            data_ready = data_start + t.burst_ns
+            done = data_ready + t.tWR + t.tRP
+
+        self._last_act = act
+        self._bank_free[bank] = done
+        self._bus_free = data_ready
+        return VaultAccess(start=act, data_ready=data_ready, done=done)
+
+    def _access_open(self, earliest: float, bank: int, is_read: bool, row: int) -> VaultAccess:
+        """Open-page: rows stay open; hits skip precharge + activate."""
+        t = self.timing
+        open_row = self._open_rows[bank]
+        start = max(earliest, self._bank_free[bank])
+        if open_row == row:
+            self.row_hits += 1
+            cas = start
+        else:
+            self.row_misses += 1
+            precharge = t.tRP if open_row is not None else 0.0
+            act = max(start + precharge, self._last_act + t.tRRD)
+            self._last_act = act
+            cas = act + t.tRCD
+        if is_read:
+            data_start = max(cas + t.tCL, self._bus_free)
+            data_ready = data_start + t.burst_ns
+            done = data_ready
+        else:
+            data_start = max(cas, self._bus_free)
+            data_ready = data_start + t.burst_ns
+            done = data_ready + t.tWR
+        self._open_rows[bank] = row
+        self._bank_free[bank] = done
+        self._bus_free = data_ready
+        return VaultAccess(start=start, data_ready=data_ready, done=done)
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses serviced."""
+        return self.reads + self.writes
+
+
+class VaultSet:
+    """The 32 vaults of one HMC plus the line-interleaved address map."""
+
+    __slots__ = ("timing", "vaults")
+
+    def __init__(self, timing: DramTiming) -> None:
+        self.timing = timing
+        self.vaults: List[Vault] = [Vault(timing) for _ in range(timing.vaults)]
+
+    def map_address(self, address: int) -> Tuple[int, int]:
+        """Line-interleaved mapping: address -> (vault, bank)."""
+        line = address // self.timing.line_bytes
+        vault = line % self.timing.vaults
+        bank = (line // self.timing.vaults) % self.timing.banks_per_vault
+        return vault, bank
+
+    def map_row(self, address: int) -> int:
+        """Row index within a bank (open-page locality granularity)."""
+        line = address // self.timing.line_bytes
+        per_bank = line // (self.timing.vaults * self.timing.banks_per_vault)
+        return per_bank // (self.timing.row_bytes // self.timing.line_bytes)
+
+    def access(self, now: float, address: int, is_read: bool) -> VaultAccess:
+        """Route ``address`` to its vault/bank and schedule the access."""
+        vault, bank = self.map_address(address)
+        return self.vaults[vault].access(now, bank, is_read, row=self.map_row(address))
+
+    @property
+    def reads(self) -> int:
+        """Reads serviced across all vaults."""
+        return sum(v.reads for v in self.vaults)
+
+    @property
+    def writes(self) -> int:
+        """Writes serviced across all vaults."""
+        return sum(v.writes for v in self.vaults)
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses serviced across all vaults."""
+        return sum(v.accesses for v in self.vaults)
+
+    def busy_fraction(self, window_ns: float) -> float:
+        """Average data-bus utilization across vaults over ``window_ns``."""
+        if window_ns <= 0:
+            return 0.0
+        total = sum(v.busy_ns for v in self.vaults)
+        return min(1.0, total / (len(self.vaults) * window_ns))

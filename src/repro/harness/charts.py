@@ -1,0 +1,154 @@
+"""Terminal charts: render figure series without a plotting stack.
+
+The paper's artifacts are bar charts, stacked bars, and line plots.
+These helpers draw them as fixed-width ASCII so the CLI and examples can
+show *shapes*, not just tables, in any terminal and in CI logs.
+
+All renderers return strings; nothing here prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "stacked_bar_chart", "line_chart", "histogram"]
+
+_BLOCK = "█"
+_PARTIALS = " ▏▎▍▌▋▊▉"
+_STACK_GLYPHS = "█▓▒░▞▚▙▟"
+
+
+def _scale(value: float, vmax: float, width: int) -> float:
+    if vmax <= 0:
+        return 0.0
+    return max(0.0, min(1.0, value / vmax)) * width
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    cells = _scale(value, vmax, width)
+    full = int(cells)
+    frac = cells - full
+    partial = _PARTIALS[int(frac * (len(_PARTIALS) - 1))] if full < width else ""
+    return (_BLOCK * full + partial).ljust(width)
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    title: Optional[str] = None,
+    unit: str = "",
+    vmax: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart: one ``(label, value)`` per row."""
+    if not items:
+        return title or ""
+    vmax = vmax if vmax is not None else max(v for _l, v in items)
+    label_w = max(len(l) for l, _v in items)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        lines.append(
+            f"{label.rjust(label_w)} |{_bar(value, vmax, width)}| "
+            f"{value:.3g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    items: Sequence[Tuple[str, Dict[str, float]]],
+    categories: Sequence[str],
+    width: int = 48,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal stacked bars (the Figure 5 power-breakdown shape).
+
+    ``items`` is ``(label, {category: value})``; stack order and glyphs
+    follow ``categories``.
+    """
+    if not items:
+        return title or ""
+    totals = [sum(vals.get(c, 0.0) for c in categories) for _l, vals in items]
+    vmax = max(totals) if totals else 1.0
+    label_w = max(len(l) for l, _v in items)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{_STACK_GLYPHS[i % len(_STACK_GLYPHS)]}={c}" for i, c in enumerate(categories)
+    )
+    lines.append(legend)
+    for (label, vals), total in zip(items, totals):
+        bar = []
+        for i, category in enumerate(categories):
+            cells = int(round(_scale(vals.get(category, 0.0), vmax, width)))
+            bar.append(_STACK_GLYPHS[i % len(_STACK_GLYPHS)] * cells)
+        body = "".join(bar)[:width].ljust(width)
+        lines.append(f"{label.rjust(label_w)} |{body}| {total:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Each series is ``(name, [(x, y), ...])``; points are marked with the
+    series' index digit, collisions with ``*``.
+    """
+    points = [(x, y) for _n, pts in series for x, y in pts]
+    if not points:
+        return title or ""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (_name, pts) in enumerate(series):
+        mark = str(idx % 10)
+        for x, y in pts:
+            col = int((x - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - int((y - y0) / (y1 - y0) * (height - 1))
+            grid[row][col] = "*" if grid[row][col] not in (" ", mark) else mark
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y0:.3g} .. {y1:.3g}")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"x: {x0:.3g} .. {x1:.3g}")
+    lines.append("  ".join(f"{i}={name}" for i, (name, _p) in enumerate(series)))
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Simple binned histogram of a value list."""
+    if not values:
+        return title or ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / (hi - lo) * bins))
+        counts[idx] += 1
+    items = []
+    for i, count in enumerate(counts):
+        b0 = lo + (hi - lo) * i / bins
+        b1 = lo + (hi - lo) * (i + 1) / bins
+        items.append((f"[{b0:.3g},{b1:.3g})", float(count)))
+    return bar_chart(items, width=width, title=title)

@@ -1,0 +1,193 @@
+"""Single-experiment runner: one (workload, topology, mechanism, policy).
+
+:func:`run_experiment` assembles a full simulation from an
+:class:`ExperimentConfig` -- topology sized to the workload footprint,
+mechanism, management policy, closed-loop traffic -- runs it for the
+configured window, and returns an :class:`ExperimentResult` with every
+quantity the paper's figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.aware import NetworkAwarePolicy
+from repro.core.mechanisms import MECHANISM_NAMES, make_mechanism
+from repro.core.policy import EPOCH_NS
+from repro.core.static_baseline import StaticBaselinePolicy
+from repro.core.unaware import NetworkUnawarePolicy
+from repro.harness.metrics import (
+    LinkHourCollector,
+    avg_link_utilization,
+    avg_modules_traversed,
+    channel_utilization,
+)
+from repro.network.network import MemoryNetwork
+from repro.network.topology import build_topology
+from repro.power.accounting import PowerBreakdown
+from repro.power.hmc_power import DEFAULT_POWER_MODEL
+from repro.sim.engine import Simulator
+from repro.workloads.generator import ClosedLoopWorkload
+from repro.workloads.mapping import contiguous_mapping, page_interleaved_mapping
+from repro.workloads.profiles import get_profile
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment", "POLICY_NAMES"]
+
+#: Recognized management policies.
+POLICY_NAMES: Tuple[str, ...] = ("none", "unaware", "aware", "static")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one simulation run."""
+
+    workload: str
+    topology: str = "daisychain"
+    scale: str = "small"
+    mechanism: str = "FP"
+    policy: str = "none"
+    alpha: float = 0.05
+    window_ns: float = 500_000.0
+    epoch_ns: float = EPOCH_NS
+    seed: int = 1
+    wake_ns: float = 14.0
+    mapping: str = "contiguous"
+    collect_link_hours: bool = False
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.mechanism.upper() not in MECHANISM_NAMES:
+            raise ValueError(f"unknown mechanism {self.mechanism!r}")
+        if self.scale not in ("small", "big"):
+            raise ValueError(f"scale must be 'small' or 'big', got {self.scale!r}")
+        if self.mapping not in ("contiguous", "interleaved"):
+            raise ValueError(f"unknown mapping {self.mapping!r}")
+        if self.window_ns <= 0:
+            raise ValueError("window must be positive")
+
+    def replace(self, **changes) -> "ExperimentConfig":
+        """A copy of this config with the given fields replaced."""
+        from dataclasses import replace as _replace
+
+        return _replace(self, **changes)
+
+    def baseline(self) -> "ExperimentConfig":
+        """The matching full-power run (same traffic, no management)."""
+        return self.replace(mechanism="FP", policy="none", collect_link_hours=False)
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outputs of one run."""
+
+    config: ExperimentConfig
+    num_modules: int
+    breakdown: PowerBreakdown
+    throughput_per_s: float
+    avg_read_latency_ns: float
+    max_read_latency_ns: float
+    channel_utilization: float
+    link_utilization: float
+    avg_modules_traversed: float
+    completed_reads: int
+    completed_writes: int
+    violations: int = 0
+    epochs: int = 0
+    link_hours: Optional[Dict[Tuple[str, int], float]] = None
+
+    @property
+    def power_per_hmc_w(self) -> float:
+        """Average power per HMC (Figure 5 / 11 y-axis)."""
+        return self.breakdown.total_w
+
+    @property
+    def network_power_w(self) -> float:
+        """Total network power."""
+        return self.breakdown.total_w * self.num_modules
+
+    @property
+    def io_power_w(self) -> float:
+        """I/O power per HMC."""
+        return self.breakdown.io_w
+
+    @property
+    def idle_io_fraction(self) -> float:
+        """Idle I/O as a fraction of total network power (Figure 8)."""
+        return self.breakdown.idle_io_fraction
+
+
+def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentResult:
+    """Build, run, and measure one experiment.
+
+    ``policy_factory``, if given, overrides ``config.policy``: it is
+    called as ``policy_factory(network, alpha, epoch_ns)`` and must
+    return an object with a ``start()`` method (used by the ablation
+    benchmarks to run modified network-aware variants).
+    """
+    profile = get_profile(config.workload)
+    if config.mapping == "interleaved":
+        mapping = page_interleaved_mapping(profile.footprint_gb, config.scale)
+    else:
+        mapping = contiguous_mapping(profile.footprint_gb, config.scale)
+    topology = build_topology(config.topology, mapping.num_modules)
+    mechanism = make_mechanism(config.mechanism, wake_ns=config.wake_ns)
+
+    sim = Simulator()
+    network = MemoryNetwork(
+        sim,
+        topology,
+        mechanism,
+        mapping,
+        power_model=DEFAULT_POWER_MODEL,
+    )
+
+    policy = None
+    collector = None
+    if policy_factory is not None:
+        policy = policy_factory(network, config.alpha, config.epoch_ns)
+    elif config.policy == "unaware":
+        policy = NetworkUnawarePolicy(network, config.alpha, config.epoch_ns)
+    elif config.policy == "aware":
+        policy = NetworkAwarePolicy(network, config.alpha, config.epoch_ns)
+    elif config.policy == "static":
+        policy = StaticBaselinePolicy(network)
+    if config.collect_link_hours and isinstance(
+        policy, (NetworkUnawarePolicy, NetworkAwarePolicy)
+    ):
+        collector = LinkHourCollector()
+        policy.epoch_observer = collector
+
+    workload = ClosedLoopWorkload(
+        network, profile, stop_ns=config.window_ns, seed=config.seed
+    )
+
+    network.start()
+    if policy is not None:
+        policy.start()
+    workload.start()
+    sim.run(until=config.window_ns)
+    network.finalize(config.window_ns)
+
+    breakdown = PowerBreakdown.from_ledgers(
+        (m.ledger for m in network.modules),
+        config.window_ns,
+        topology.num_modules,
+    )
+    return ExperimentResult(
+        config=config,
+        num_modules=topology.num_modules,
+        breakdown=breakdown,
+        throughput_per_s=workload.throughput_per_s(config.window_ns),
+        avg_read_latency_ns=network.avg_read_latency_ns,
+        max_read_latency_ns=network.max_read_latency_ns,
+        channel_utilization=channel_utilization(network, config.window_ns),
+        link_utilization=avg_link_utilization(network, config.window_ns),
+        avg_modules_traversed=avg_modules_traversed(network),
+        completed_reads=network.completed_reads,
+        completed_writes=network.completed_writes,
+        violations=getattr(policy, "violations", 0),
+        epochs=getattr(policy, "epochs_run", 0),
+        link_hours=collector.hours if collector is not None else None,
+    )

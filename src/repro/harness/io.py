@@ -1,0 +1,153 @@
+"""Serialization: configs and results to/from JSON and CSV.
+
+Batch studies want three things: declare a grid of experiments in a
+file, run them reproducibly, and get machine-readable results out.
+
+* :func:`config_to_dict` / :func:`config_from_dict` -- lossless
+  round-trip of :class:`ExperimentConfig`;
+* :func:`result_to_dict` -- flatten an :class:`ExperimentResult` (power
+  buckets inlined) for JSON/CSV;
+* :func:`save_results_json` / :func:`save_results_csv` -- persist a
+  result list;
+* :func:`load_batch` -- read a batch spec: either a JSON list of config
+  objects or ``{"base": {...}, "grid": {axis: [values...]}}`` which
+  expands to the cartesian product.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from typing import Dict, Iterable, List, Sequence
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
+from repro.harness.sweep import grid_configs
+
+__all__ = [
+    "config_to_dict",
+    "config_from_dict",
+    "result_to_dict",
+    "save_results_json",
+    "save_results_csv",
+    "load_batch",
+    "RESULT_FIELDS",
+]
+
+#: Flat result columns, in CSV order.
+RESULT_FIELDS: Sequence[str] = (
+    "workload", "topology", "scale", "mechanism", "policy", "alpha",
+    "seed", "num_modules",
+    "power_per_hmc_w", "network_power_w",
+    "idle_io_w", "active_io_w", "logic_leak_w", "logic_dyn_w",
+    "dram_leak_w", "dram_dyn_w",
+    "idle_io_fraction", "io_fraction",
+    "throughput_per_s", "avg_read_latency_ns", "max_read_latency_ns",
+    "channel_utilization", "link_utilization", "avg_modules_traversed",
+    "completed_reads", "completed_writes", "epochs", "violations",
+)
+
+
+def config_to_dict(config: ExperimentConfig) -> Dict:
+    """ExperimentConfig -> plain dict (JSON-safe)."""
+    return asdict(config)
+
+
+def config_from_dict(data: Dict) -> ExperimentConfig:
+    """Plain dict -> ExperimentConfig (unknown keys rejected)."""
+    allowed = set(ExperimentConfig.__dataclass_fields__)
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(f"unknown config keys: {sorted(unknown)}")
+    return ExperimentConfig(**data)
+
+
+def result_to_dict(result: ExperimentResult) -> Dict:
+    """Flatten a result into the RESULT_FIELDS columns."""
+    cfg = result.config
+    watts = result.breakdown.watts
+    return {
+        "workload": cfg.workload,
+        "topology": cfg.topology,
+        "scale": cfg.scale,
+        "mechanism": cfg.mechanism,
+        "policy": cfg.policy,
+        "alpha": cfg.alpha,
+        "seed": cfg.seed,
+        "num_modules": result.num_modules,
+        "power_per_hmc_w": result.power_per_hmc_w,
+        "network_power_w": result.network_power_w,
+        "idle_io_w": watts["idle_io"],
+        "active_io_w": watts["active_io"],
+        "logic_leak_w": watts["logic_leak"],
+        "logic_dyn_w": watts["logic_dyn"],
+        "dram_leak_w": watts["dram_leak"],
+        "dram_dyn_w": watts["dram_dyn"],
+        "idle_io_fraction": result.idle_io_fraction,
+        "io_fraction": result.breakdown.io_fraction,
+        "throughput_per_s": result.throughput_per_s,
+        "avg_read_latency_ns": result.avg_read_latency_ns,
+        "max_read_latency_ns": result.max_read_latency_ns,
+        "channel_utilization": result.channel_utilization,
+        "link_utilization": result.link_utilization,
+        "avg_modules_traversed": result.avg_modules_traversed,
+        "completed_reads": result.completed_reads,
+        "completed_writes": result.completed_writes,
+        "epochs": result.epochs,
+        "violations": result.violations,
+    }
+
+
+def save_results_json(path: str, results: Iterable[ExperimentResult]) -> int:
+    """Write results (with their configs) as a JSON list; returns count."""
+    payload = [
+        {"config": config_to_dict(r.config), "metrics": result_to_dict(r)}
+        for r in results
+    ]
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    return len(payload)
+
+
+def save_results_csv(path: str, results: Iterable[ExperimentResult]) -> int:
+    """Write flat result rows as CSV; returns the row count."""
+    rows = [result_to_dict(r) for r in results]
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(RESULT_FIELDS))
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def load_batch(path: str) -> List[ExperimentConfig]:
+    """Read a batch spec file into a config list.
+
+    Accepted shapes::
+
+        [ {config...}, {config...} ]                 # explicit list
+        { "base": {config...}, "grid": {             # cartesian grid
+            "workload": ["lu.D", "sp.D"],
+            "mechanism": ["VWL", "ROO"],
+            "alpha": [0.025, 0.05] } }
+    """
+    with open(path) as fh:
+        spec = json.load(fh)
+    if isinstance(spec, list):
+        return [config_from_dict(d) for d in spec]
+    if not isinstance(spec, dict) or "base" not in spec:
+        raise ValueError("batch spec must be a list or {'base':..., 'grid':...}")
+    base = config_from_dict(spec["base"])
+    grid = spec.get("grid", {})
+    allowed_axes = {"workload", "topology", "scale", "mechanism", "policy", "alpha"}
+    unknown = set(grid) - allowed_axes
+    if unknown:
+        raise ValueError(f"unsupported grid axes: {sorted(unknown)}")
+    return grid_configs(
+        base,
+        workloads=grid.get("workload", ()),
+        topologies=grid.get("topology", ()),
+        scales=grid.get("scale", ()),
+        mechanisms=grid.get("mechanism", ()),
+        policies=grid.get("policy", ()),
+        alphas=grid.get("alpha", ()),
+    )

@@ -1,0 +1,60 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The benchmark harness prints the same rows and series the paper's
+tables and figures report; these helpers keep that output consistent
+and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_percent", "format_watts", "print_table"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.234 -> '23.4%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_watts(value: float, digits: int = 2) -> str:
+    """1.2345 -> '1.23 W'."""
+    return f"{value:.{digits}f} W"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with a separator under the header."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> None:
+    """Print :func:`format_table` output (convenience for benches)."""
+    print()
+    print(format_table(headers, rows, title=title))

@@ -1,0 +1,114 @@
+"""Parameter sweeps with result caching.
+
+The paper's figures reuse the same runs heavily (every managed run is
+compared against the matching full-power baseline; Figure 15 compares
+aware against unaware on identical grids).  :class:`SweepRunner` caches
+:class:`ExperimentResult` objects by config so shared points simulate
+once per process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.metrics import performance_degradation
+
+__all__ = ["SweepRunner", "grid_configs"]
+
+
+def grid_configs(
+    base: ExperimentConfig,
+    workloads: Sequence[str] = (),
+    topologies: Sequence[str] = (),
+    scales: Sequence[str] = (),
+    mechanisms: Sequence[str] = (),
+    policies: Sequence[str] = (),
+    alphas: Sequence[float] = (),
+) -> List[ExperimentConfig]:
+    """Cartesian product of the given axes over ``base``.
+
+    Empty axes keep the base config's value.
+    """
+    axes = {
+        "workload": list(workloads) or [base.workload],
+        "topology": list(topologies) or [base.topology],
+        "scale": list(scales) or [base.scale],
+        "mechanism": list(mechanisms) or [base.mechanism],
+        "policy": list(policies) or [base.policy],
+        "alpha": list(alphas) or [base.alpha],
+    }
+    keys = list(axes)
+    out = []
+    for combo in itertools.product(*(axes[k] for k in keys)):
+        out.append(base.replace(**dict(zip(keys, combo))))
+    return out
+
+
+@dataclass
+class SweepRunner:
+    """Runs experiments, memoizing results by config."""
+
+    cache: Dict[ExperimentConfig, ExperimentResult] = field(default_factory=dict)
+    runs: int = 0
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Run (or fetch) one experiment."""
+        if config not in self.cache:
+            self.cache[config] = run_experiment(config)
+            self.runs += 1
+        return self.cache[config]
+
+    def run_all(self, configs: Iterable[ExperimentConfig]) -> List[ExperimentResult]:
+        """Run every config, in order."""
+        return [self.run(c) for c in configs]
+
+    # ------------------------------------------------------------------
+    # Paired comparisons
+    # ------------------------------------------------------------------
+    def run_with_baseline(
+        self, config: ExperimentConfig
+    ) -> Tuple[ExperimentResult, ExperimentResult]:
+        """(managed result, matching full-power baseline result)."""
+        return self.run(config), self.run(config.baseline())
+
+    def power_reduction_vs_baseline(self, config: ExperimentConfig) -> float:
+        """Network power saved vs. the full-power run (fraction)."""
+        managed, baseline = self.run_with_baseline(config)
+        if baseline.network_power_w <= 0:
+            return 0.0
+        return 1.0 - managed.network_power_w / baseline.network_power_w
+
+    def io_power_reduction_vs_baseline(self, config: ExperimentConfig) -> float:
+        """I/O power saved vs. the full-power run (fraction)."""
+        managed, baseline = self.run_with_baseline(config)
+        if baseline.io_power_w <= 0:
+            return 0.0
+        return 1.0 - managed.io_power_w / baseline.io_power_w
+
+    def idle_io_power_reduction_vs_baseline(self, config: ExperimentConfig) -> float:
+        """Idle-I/O power saved vs. the full-power run (fraction)."""
+        managed, baseline = self.run_with_baseline(config)
+        base = baseline.breakdown.watts["idle_io"]
+        if base <= 0:
+            return 0.0
+        return 1.0 - managed.breakdown.watts["idle_io"] / base
+
+    def degradation_vs_baseline(self, config: ExperimentConfig) -> float:
+        """Throughput degradation vs. the full-power run (fraction)."""
+        managed, baseline = self.run_with_baseline(config)
+        return performance_degradation(
+            baseline.throughput_per_s, managed.throughput_per_s
+        )
+
+    def compare(
+        self, config_a: ExperimentConfig, config_b: ExperimentConfig
+    ) -> float:
+        """Network power reduction of ``config_a`` relative to ``config_b``."""
+        a = self.run(config_a)
+        b = self.run(config_b)
+        if b.network_power_w <= 0:
+            return 0.0
+        return 1.0 - a.network_power_w / b.network_power_w

@@ -1,0 +1,126 @@
+"""Power-state timelines: sample link states over a run.
+
+Policies are easier to debug when you can *see* what a link did:
+when it narrowed, when it slept, how long it stayed there.
+:class:`StateSampler` polls every link at a fixed period (piggybacking
+on the simulation's own event queue, so samples are exact snapshots)
+and exposes per-link timelines plus duty-cycle summaries.
+
+Sampling is passive: it never changes simulation behaviour, only adds
+one event per period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.links import LinkController
+from repro.network.network import MemoryNetwork
+
+__all__ = ["LinkSample", "StateSampler"]
+
+
+@dataclass(frozen=True)
+class LinkSample:
+    """One snapshot of one link's power state."""
+
+    time_ns: float
+    width_index: int
+    is_off: bool
+    transmitting: bool
+    queue_len: int
+
+
+class StateSampler:
+    """Periodic sampler of every link's power state.
+
+    Start it before running the simulation::
+
+        sampler = StateSampler(network, period_ns=1000.0)
+        sampler.start()
+        sim.run(until=...)
+        print(sampler.duty_cycles()[network.channel_req])
+    """
+
+    def __init__(self, network: MemoryNetwork, period_ns: float = 1_000.0) -> None:
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.network = network
+        self.period_ns = period_ns
+        self.samples: Dict[LinkController, List[LinkSample]] = {
+            link: [] for link in network.all_links()
+        }
+        self._running = False
+
+    def start(self) -> None:
+        """Arm the periodic sampling event."""
+        if self._running:
+            return
+        self._running = True
+        self.network.sim.schedule(0.0, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling after the next tick."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.network.sim.now
+        for link, series in self.samples.items():
+            series.append(
+                LinkSample(
+                    time_ns=now,
+                    width_index=link.width_idx,
+                    is_off=link.is_off,
+                    transmitting=link.transmitting,
+                    queue_len=link.queue_len,
+                )
+            )
+        self.network.sim.schedule(self.period_ns, self._tick)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def duty_cycles(self) -> Dict[LinkController, Dict[str, float]]:
+        """Per-link fraction of samples off / transmitting / per width."""
+        out: Dict[LinkController, Dict[str, float]] = {}
+        for link, series in self.samples.items():
+            n = len(series)
+            if n == 0:
+                out[link] = {}
+                continue
+            summary: Dict[str, float] = {
+                "off": sum(1 for s in series if s.is_off) / n,
+                "transmitting": sum(1 for s in series if s.transmitting) / n,
+            }
+            for width in range(len(link.mech.width_modes)):
+                share = sum(
+                    1 for s in series if s.width_index == width and not s.is_off
+                ) / n
+                summary[f"width_{width}"] = share
+            out[link] = summary
+        return out
+
+    def transitions(self, link: LinkController) -> List[Tuple[float, str]]:
+        """State-change events for one link, as (time, description)."""
+        series = self.samples.get(link, [])
+        events: List[Tuple[float, str]] = []
+        prev: Optional[LinkSample] = None
+        for sample in series:
+            if prev is not None:
+                if sample.is_off != prev.is_off:
+                    events.append(
+                        (sample.time_ns, "off" if sample.is_off else "on")
+                    )
+                if sample.width_index != prev.width_index:
+                    name = link.mech.width_modes[sample.width_index].name
+                    events.append((sample.time_ns, f"width->{name}"))
+            prev = sample
+        return events
+
+    def max_queue_depth(self, link: LinkController) -> int:
+        """Largest sampled queue occupancy for one link."""
+        series = self.samples.get(link, [])
+        return max((s.queue_len for s in series), default=0)

@@ -1,0 +1,37 @@
+"""Memory-network substrate: packets, topologies, links, routing."""
+
+from repro.network.links import BUFFER_ENTRIES, LinkController, LinkDir
+from repro.network.network import MemoryNetwork
+from repro.network.packets import (
+    FLIT_BYTES,
+    LINE_BYTES,
+    Packet,
+    PacketKind,
+    flits_for,
+)
+from repro.network.router import ROUTER_LATENCY_NS
+from repro.network.topology import (
+    Radix,
+    Topology,
+    TopologyError,
+    TOPOLOGY_NAMES,
+    build_topology,
+)
+
+__all__ = [
+    "FLIT_BYTES",
+    "LINE_BYTES",
+    "Packet",
+    "PacketKind",
+    "flits_for",
+    "Radix",
+    "Topology",
+    "TopologyError",
+    "TOPOLOGY_NAMES",
+    "build_topology",
+    "LinkController",
+    "LinkDir",
+    "BUFFER_ENTRIES",
+    "ROUTER_LATENCY_NS",
+    "MemoryNetwork",
+]

@@ -1,0 +1,18 @@
+"""Link direction enum (leaf module, import-cycle free).
+
+Defined separately from :mod:`repro.network.links` so policy code can
+use :class:`LinkDir` without importing the link-controller machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["LinkDir"]
+
+
+class LinkDir(enum.Enum):
+    """Traffic direction relative to the processor."""
+
+    REQUEST = "request"  #: away from the processor (downstream)
+    RESPONSE = "response"  #: toward the processor (upstream)

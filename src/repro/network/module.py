@@ -1,0 +1,61 @@
+"""Per-module runtime state: vaults, energy ledger, and link references."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dram.timing import DramTiming
+from repro.dram.vault import VaultSet
+from repro.network.links import LinkController
+from repro.network.topology import Radix
+from repro.power.accounting import EnergyLedger
+
+__all__ = ["ModuleRuntime"]
+
+
+class ModuleRuntime:
+    """One networked HMC: DRAM vaults, router bookkeeping, and links.
+
+    ``req_in`` is the request link arriving from the parent (its
+    controller sits at the parent/processor side); ``resp_out`` is the
+    response link back toward the parent.  Together they form the
+    module's *connectivity links* in the paper's terminology.
+    """
+
+    __slots__ = (
+        "module_id",
+        "radix",
+        "vaults",
+        "ledger",
+        "req_in",
+        "resp_out",
+        "children",
+        "ep_dram_reads",
+        "dram_reads",
+        "outstanding_subtree_reads",
+        "flits_routed",
+    )
+
+    def __init__(self, module_id: int, radix: Radix, timing: DramTiming) -> None:
+        self.module_id = module_id
+        self.radix = radix
+        self.vaults = VaultSet(timing)
+        self.ledger = EnergyLedger()
+        self.req_in: Optional[LinkController] = None
+        self.resp_out: Optional[LinkController] = None
+        self.children: List[int] = []
+        #: DRAM reads serviced this epoch (the AEL/FEL DRAM term).
+        self.ep_dram_reads: int = 0
+        self.dram_reads: int = 0
+        #: Reads in flight whose destination lies in this module's
+        #: subtree; the network-aware response-link sleep gate.
+        self.outstanding_subtree_reads: int = 0
+        self.flits_routed: int = 0
+
+    def connectivity_links(self) -> List[LinkController]:
+        """The module's request/response links toward the processor."""
+        return [l for l in (self.req_in, self.resp_out) if l is not None]
+
+    def reset_epoch(self) -> None:
+        """Zero the per-epoch DRAM read counter."""
+        self.ep_dram_reads = 0

@@ -1,0 +1,403 @@
+"""Memory-network assembly: modules, links, routing, and DRAM hand-off.
+
+:class:`MemoryNetwork` instantiates one :class:`ModuleRuntime` per
+topology node, a request/response link-controller pair per connectivity
+link, and wires the delivery callbacks that move packets:
+
+    processor --req--> module 0 --req--> ... --req--> destination vault
+    destination --resp--> ... --resp--> module 0 --resp--> processor
+
+Every router traversal costs :data:`ROUTER_LATENCY_NS` and charges
+dynamic logic energy; every DRAM access charges dynamic DRAM energy and
+goes through the vault timing model.  The network also implements the
+two response-link wakeup strategies of the paper:
+
+* ``response_wake_mode="module"`` (network-unaware, after MemBlaze):
+  the destination module wakes its response link when its DRAM access
+  starts, hiding that one link's wakeup under the ~30 ns DRAM latency;
+* ``response_wake_mode="path"`` (network-aware, Section VI-B): every
+  response link on the path to the processor wakes, staggered by the
+  downstream link's router + SERDES + transmission latency, hiding all
+  of them.  With ``aware_sleep_gating`` response links refuse to sleep
+  while reads are outstanding anywhere in their subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.mechanisms import MechanismConfig
+from repro.dram.timing import DEFAULT_TIMING, DramTiming
+from repro.network.links import LinkController, LinkDir
+from repro.network.module import ModuleRuntime
+from repro.network.packets import PROCESSOR, Packet, PacketKind
+from repro.network.router import ROUTER_LATENCY_NS
+from repro.network.topology import Topology
+from repro.power.hmc_power import DEFAULT_POWER_MODEL, HmcPowerModel
+from repro.sim.engine import Simulator
+
+__all__ = ["MemoryNetwork"]
+
+
+class MemoryNetwork:
+    """A simulated network of HMCs behind a single processor channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        mechanism: MechanismConfig,
+        mapping,
+        power_model: HmcPowerModel = DEFAULT_POWER_MODEL,
+        timing: DramTiming = DEFAULT_TIMING,
+        roo_enabled: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.mechanism = mechanism
+        self.mapping = mapping
+        self.power_model = power_model
+        self.timing = timing
+
+        #: Hook fired when a read completes at the processor.
+        self.on_read_complete: Optional[Callable[[Packet, float], None]] = None
+        #: Additional read-completion listeners (metrics, stats); all are
+        #: invoked after ``on_read_complete``.
+        self.read_listeners: List[Callable[[Packet, float], None]] = []
+        #: "none" | "module" | "path" (see module docstring).
+        self.response_wake_mode: str = "none"
+        #: Gate response-link sleep on subtree-outstanding reads.
+        self.aware_sleep_gating: bool = False
+
+        self.completed_reads = 0
+        self.completed_writes = 0
+        self.injected_reads = 0
+        self.injected_writes = 0
+        self.sum_read_latency_ns = 0.0
+        self.max_read_latency_ns = 0.0
+        #: Module traversals summed over injected accesses (reads cross
+        #: each path module twice: request in, response out) -- Figure 6.
+        self.sum_traversals = 0
+
+        self.modules: List[ModuleRuntime] = [
+            ModuleRuntime(i, topology.radix[i], timing)
+            for i in range(topology.num_modules)
+        ]
+        self._route: List[Dict[int, int]] = [
+            {} for _ in range(topology.num_modules)
+        ]
+        self._paths: List[List[int]] = []
+        for d in range(topology.num_modules):
+            path = topology.path_from_processor(d)
+            self._paths.append(path)
+            for k in range(len(path) - 1):
+                self._route[path[k]][d] = path[k + 1]
+
+        self._e_flit = {
+            r: power_model.logic_energy_per_flit_j(r)
+            for r in set(topology.radix)
+        }
+        self._e_access = {
+            r: power_model.dram_energy_per_access_j(r)
+            for r in set(topology.radix)
+        }
+
+        self._build_links(roo_enabled)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_links(self, roo_enabled: bool) -> None:
+        topo = self.topology
+        endpoint_w = self.power_model.link_endpoint_w()
+        for i, module in enumerate(self.modules):
+            parent = topo.parent[i]
+            parent_ledger = (
+                self.modules[parent].ledger if parent != PROCESSOR else module.ledger
+            )
+            req = LinkController(
+                self.sim,
+                name=f"req:{parent}->{i}",
+                direction=LinkDir.REQUEST,
+                src=parent,
+                dst=i,
+                mech=self.mechanism,
+                endpoint_w=endpoint_w,
+                ledger_src=parent_ledger,
+                ledger_dst=module.ledger,
+            )
+            resp = LinkController(
+                self.sim,
+                name=f"resp:{i}->{parent}",
+                direction=LinkDir.RESPONSE,
+                src=i,
+                dst=parent,
+                mech=self.mechanism,
+                endpoint_w=endpoint_w,
+                ledger_src=module.ledger,
+                ledger_dst=parent_ledger,
+            )
+            req.roo_enabled = roo_enabled and self.mechanism.has_roo
+            resp.roo_enabled = req.roo_enabled
+            module.req_in = req
+            module.resp_out = resp
+            module.children = list(topo.children[i])
+
+            req.deliver = self._make_req_deliver(i)
+            req.next_ctrl = self._make_req_next(i)
+            resp.deliver = self._make_resp_deliver(i)
+            resp.next_ctrl = self._make_resp_next(i)
+
+    def _make_req_next(self, i: int):
+        def next_ctrl(pkt: Packet) -> Optional[LinkController]:
+            if pkt.dest == i:
+                return None
+            child = self._route[i][pkt.dest]
+            return self.modules[child].req_in
+
+        return next_ctrl
+
+    def _make_resp_next(self, i: int):
+        parent = self.topology.parent[i]
+        if parent == PROCESSOR:
+            return lambda pkt: None
+        resp = lambda pkt: self.modules[parent].resp_out
+        return resp
+
+    def _make_req_deliver(self, i: int):
+        module = self.modules[i]
+
+        def deliver(pkt: Packet, now: float) -> None:
+            self._charge_router(module, pkt)
+            self.sim.schedule_at(
+                now + ROUTER_LATENCY_NS, lambda: self._after_req_router(i, pkt)
+            )
+
+        return deliver
+
+    def _after_req_router(self, i: int, pkt: Packet) -> None:
+        now = self.sim.now
+        if pkt.dest == i:
+            self._at_destination(i, pkt, now)
+            return
+        child = self._route[i][pkt.dest]
+        target = self.modules[child].req_in
+        target.release_reservation()
+        target.enqueue(pkt, now)
+
+    def _make_resp_deliver(self, i: int):
+        parent = self.topology.parent[i]
+        if parent == PROCESSOR:
+
+            def deliver_to_processor(pkt: Packet, now: float) -> None:
+                # ``now`` is the future arrival time (deliver fires at
+                # transmit-finish); defer completion to that instant.
+                self.sim.schedule_at(now, lambda: self._complete_read(pkt, now))
+
+            return deliver_to_processor
+
+        parent_module = self.modules[parent]
+
+        def deliver(pkt: Packet, now: float) -> None:
+            self._charge_router(parent_module, pkt)
+            self.sim.schedule_at(
+                now + ROUTER_LATENCY_NS, lambda: self._after_resp_router(parent, pkt)
+            )
+
+        return deliver
+
+    def _after_resp_router(self, parent: int, pkt: Packet) -> None:
+        target = self.modules[parent].resp_out
+        target.release_reservation()
+        target.enqueue(pkt, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # DRAM hand-off
+    # ------------------------------------------------------------------
+    def _charge_router(self, module: ModuleRuntime, pkt: Packet) -> None:
+        module.flits_routed += pkt.flits
+        module.ledger.logic_dyn_j += self._e_flit[module.radix] * pkt.flits
+
+    def _at_destination(self, i: int, pkt: Packet, now: float) -> None:
+        module = self.modules[i]
+        is_read = pkt.kind is PacketKind.READ_REQ
+        if is_read:
+            module.ep_dram_reads += 1
+            module.dram_reads += 1
+            self._wake_response_path(i, now)
+        module.ledger.dram_dyn_j += self._e_access[module.radix]
+        access = module.vaults.access(now, pkt.address, is_read)
+        if is_read:
+            resp = Packet(
+                kind=PacketKind.READ_RESP,
+                address=pkt.address,
+                dest=PROCESSOR,
+                src=i,
+                issue_time=pkt.issue_time,
+                stream=pkt.stream,
+            )
+            resp.dram_start = access.start
+            self.sim.schedule_at(
+                access.data_ready,
+                lambda: module.resp_out.enqueue(resp, self.sim.now),
+            )
+        else:
+            self.sim.schedule_at(access.done, self._count_write_done)
+
+    def _count_write_done(self) -> None:
+        self.completed_writes += 1
+
+    # ------------------------------------------------------------------
+    # Response-link wakeup strategies (Sections V and VI-B)
+    # ------------------------------------------------------------------
+    def _wake_response_path(self, dest: int, now: float) -> None:
+        mode = self.response_wake_mode
+        if mode == "none" or not self.mechanism.has_roo:
+            return
+        if mode == "module":
+            self.modules[dest].resp_out.wake_proactively(now)
+            return
+        if mode != "path":
+            raise ValueError(f"unknown response_wake_mode {mode!r}")
+        t = now
+        node = dest
+        while node != PROCESSOR:
+            link = self.modules[node].resp_out
+            if t <= now:
+                link.wake_proactively(now)
+            else:
+                self.sim.schedule_at(
+                    t, (lambda l: lambda: l.wake_proactively(self.sim.now))(link)
+                )
+            flit_time, serdes, _power = link._effective_width(t)
+            t += ROUTER_LATENCY_NS + serdes + 5 * flit_time
+            node = self.topology.parent[node]
+
+    # ------------------------------------------------------------------
+    # Injection / completion (the processor side)
+    # ------------------------------------------------------------------
+    def inject_read(self, address: int, now: float, stream: int = 0) -> None:
+        """Issue a read for ``address`` from the processor at ``now``.
+
+        A ``now`` in the simulator's future is scheduled rather than
+        injected immediately, so callers may pre-program arrivals.
+        """
+        if now > self.sim.now:
+            self.sim.schedule_at(
+                now, lambda: self._inject_read_now(address, stream)
+            )
+            return
+        self._inject_read_now(address, stream)
+
+    def _inject_read_now(self, address: int, stream: int) -> None:
+        now = self.sim.now
+        dest = self.mapping.module_of(address)
+        pkt = Packet(
+            kind=PacketKind.READ_REQ,
+            address=address,
+            dest=dest,
+            issue_time=now,
+            stream=stream,
+        )
+        for m in self._paths[dest]:
+            self.modules[m].outstanding_subtree_reads += 1
+        self.injected_reads += 1
+        self.sum_traversals += 2 * len(self._paths[dest])
+        self.modules[0].req_in.enqueue(pkt, now)
+
+    def inject_write(self, address: int, now: float, stream: int = 0) -> None:
+        """Issue a posted write for ``address`` at ``now``.
+
+        Future timestamps are scheduled, as with :meth:`inject_read`.
+        """
+        if now > self.sim.now:
+            self.sim.schedule_at(
+                now, lambda: self._inject_write_now(address, stream)
+            )
+            return
+        self._inject_write_now(address, stream)
+
+    def _inject_write_now(self, address: int, stream: int) -> None:
+        now = self.sim.now
+        dest = self.mapping.module_of(address)
+        pkt = Packet(
+            kind=PacketKind.WRITE_REQ,
+            address=address,
+            dest=dest,
+            issue_time=now,
+            stream=stream,
+        )
+        self.injected_writes += 1
+        self.sum_traversals += len(self._paths[dest])
+        self.modules[0].req_in.enqueue(pkt, now)
+
+    def _complete_read(self, pkt: Packet, now: float) -> None:
+        latency = now - pkt.issue_time
+        self.completed_reads += 1
+        self.sum_read_latency_ns += latency
+        if latency > self.max_read_latency_ns:
+            self.max_read_latency_ns = latency
+        for m in self._paths[pkt.src]:
+            module = self.modules[m]
+            module.outstanding_subtree_reads -= 1
+            if (
+                self.aware_sleep_gating
+                and module.outstanding_subtree_reads == 0
+                and module.resp_out is not None
+            ):
+                module.resp_out.retry_sleep(now)
+        if self.on_read_complete is not None:
+            self.on_read_complete(pkt, now)
+        for listener in self.read_listeners:
+            listener(pkt, now)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm link idle timers; call once before running the simulator."""
+        if self.aware_sleep_gating:
+            for module in self.modules:
+                link = module.resp_out
+                mod = module
+                link.can_sleep = (
+                    lambda m=mod: m.outstanding_subtree_reads == 0
+                )
+        for link in self.all_links():
+            link.start(self.sim.now)
+
+    def all_links(self) -> List[LinkController]:
+        """Every unidirectional link controller in the network."""
+        out: List[LinkController] = []
+        for module in self.modules:
+            out.append(module.req_in)
+            out.append(module.resp_out)
+        return out
+
+    @property
+    def channel_req(self) -> LinkController:
+        """The processor-to-network request link."""
+        return self.modules[0].req_in
+
+    @property
+    def channel_resp(self) -> LinkController:
+        """The network-to-processor response link."""
+        return self.modules[0].resp_out
+
+    @property
+    def avg_read_latency_ns(self) -> float:
+        """Mean end-to-end read latency so far."""
+        if not self.completed_reads:
+            return 0.0
+        return self.sum_read_latency_ns / self.completed_reads
+
+    def finalize(self, window_ns: float) -> None:
+        """Close energy accounting: flush links and charge leakage."""
+        now = self.sim.now
+        for link in self.all_links():
+            link.accrue(now)
+        for module in self.modules:
+            leak_dram = self.power_model.dram_leakage_w(module.radix)
+            leak_logic = self.power_model.logic_leakage_w(module.radix)
+            module.ledger.dram_leak_j += leak_dram * window_ns * 1e-9
+            module.ledger.logic_leak_j += leak_logic * window_ns * 1e-9

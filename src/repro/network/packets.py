@@ -1,0 +1,122 @@
+"""Packet and flit definitions for the HMC-style memory network.
+
+The HMC protocol moves traffic in 16-byte *flits*.  With 64 B cache
+lines (Section II-B of the paper):
+
+* a read request is a single header flit,
+* a write request carries the header plus the 64 B line = 5 flits,
+* a read response likewise carries 5 flits.
+
+Writes are *posted*: the network does not generate write responses.  The
+paper prioritizes reads over writes at link controllers because writes
+do not typically sit on the critical path.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "FLIT_BYTES",
+    "LINE_BYTES",
+    "PacketKind",
+    "Packet",
+    "flits_for",
+]
+
+#: Size of one flit in bytes (minimum traffic flow unit).
+FLIT_BYTES: int = 16
+#: Cache line size assumed throughout the paper.
+LINE_BYTES: int = 64
+
+#: Identifier of the processor endpoint in src/dest fields.
+PROCESSOR: int = -1
+
+
+class PacketKind(enum.Enum):
+    """The three packet types that cross a memory network."""
+
+    READ_REQ = "read_req"
+    WRITE_REQ = "write_req"
+    READ_RESP = "read_resp"
+
+    @property
+    def is_read(self) -> bool:
+        """Whether this packet belongs to a read transaction."""
+        return self in (PacketKind.READ_REQ, PacketKind.READ_RESP)
+
+    @property
+    def is_request(self) -> bool:
+        """Whether this packet travels on request (downstream) links."""
+        return self in (PacketKind.READ_REQ, PacketKind.WRITE_REQ)
+
+
+#: Flit counts per packet kind, per Section II-B.
+_FLITS = {
+    PacketKind.READ_REQ: 1,
+    PacketKind.WRITE_REQ: 1 + LINE_BYTES // FLIT_BYTES,
+    PacketKind.READ_RESP: 1 + LINE_BYTES // FLIT_BYTES,
+}
+
+
+def flits_for(kind: PacketKind) -> int:
+    """Number of flits a packet of ``kind`` occupies."""
+    return _FLITS[kind]
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A single request or response packet in flight.
+
+    Attributes
+    ----------
+    kind:
+        Read request, write request, or read response.
+    address:
+        Physical byte address of the accessed line.
+    dest:
+        Destination module id (``PROCESSOR`` for responses).
+    src:
+        Originating endpoint (``PROCESSOR`` for requests).
+    issue_time:
+        Time the owning transaction was injected at the processor.
+    stream:
+        Index of the closed-loop workload stream that issued the access;
+        used to resume the stream when the read completes.
+    """
+
+    kind: PacketKind
+    address: int
+    dest: int
+    src: int = PROCESSOR
+    issue_time: float = 0.0
+    stream: int = 0
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Time the packet arrived at the link controller it currently queues at.
+    link_arrival: float = 0.0
+    #: Time the DRAM access for this transaction started (responses only).
+    dram_start: Optional[float] = None
+    #: Flit count and read flag, cached at construction (hot path).
+    flits: int = 0
+    is_read: bool = False
+
+    def __post_init__(self) -> None:
+        self.flits = _FLITS[self.kind]
+        self.is_read = self.kind is not PacketKind.WRITE_REQ
+
+    @property
+    def bytes(self) -> int:
+        """Wire footprint in bytes."""
+        return self.flits * FLIT_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.pkt_id} {self.kind.value} addr=0x{self.address:x} "
+            f"dest={self.dest})"
+        )

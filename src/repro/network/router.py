@@ -1,0 +1,17 @@
+"""Pipelined router model (Section III-B).
+
+Each HMC's logic die routes packets between its links and its vaults
+through a pipelined router clocked at the minimum single-flit transfer
+time of the evaluated links (0.64 ns) with a four-cycle latency.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ROUTER_CLOCK_NS", "ROUTER_PIPELINE_CYCLES", "ROUTER_LATENCY_NS"]
+
+#: Router clock period: one flit slot on a full-width link.
+ROUTER_CLOCK_NS: float = 0.64
+#: Pipeline depth of the router.
+ROUTER_PIPELINE_CYCLES: int = 4
+#: Per-traversal router latency.
+ROUTER_LATENCY_NS: float = ROUTER_CLOCK_NS * ROUTER_PIPELINE_CYCLES

@@ -1,0 +1,6 @@
+"""Power substrate: HMC power model and energy accounting."""
+
+from repro.power.accounting import EnergyLedger, PowerBreakdown
+from repro.power.hmc_power import DEFAULT_POWER_MODEL, HmcPowerModel
+
+__all__ = ["HmcPowerModel", "DEFAULT_POWER_MODEL", "EnergyLedger", "PowerBreakdown"]

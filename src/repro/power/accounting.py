@@ -1,0 +1,139 @@
+"""Energy accounting: the six power buckets of Figure 5.
+
+Every module owns an :class:`EnergyLedger` accumulating joules in the
+six categories the paper reports:
+
+* **idle I/O** -- link-endpoint energy while not moving application data
+  (the dominant bucket, and the paper's target),
+* **active I/O** -- link-endpoint energy while transmitting packets,
+* **logic leakage / logic dynamic**,
+* **DRAM leakage / DRAM dynamic**.
+
+Link energy is charged per *endpoint*: each unidirectional link burns
+power at both its transmitter and receiver chip; the module-side ledger
+of each endpoint takes its half.  The processor-side endpoint of the
+channel link is charged to module 0's ledger so "total network power"
+covers the whole network interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+__all__ = ["EnergyLedger", "PowerBreakdown"]
+
+
+@dataclass
+class EnergyLedger:
+    """Joules accumulated per power category for one module."""
+
+    idle_io_j: float = 0.0
+    active_io_j: float = 0.0
+    logic_leak_j: float = 0.0
+    logic_dyn_j: float = 0.0
+    dram_leak_j: float = 0.0
+    dram_dyn_j: float = 0.0
+
+    @property
+    def io_j(self) -> float:
+        """Total I/O energy (idle + active)."""
+        return self.idle_io_j + self.active_io_j
+
+    @property
+    def total_j(self) -> float:
+        """Total energy across all six categories."""
+        return (
+            self.idle_io_j
+            + self.active_io_j
+            + self.logic_leak_j
+            + self.logic_dyn_j
+            + self.dram_leak_j
+            + self.dram_dyn_j
+        )
+
+    def add(self, other: "EnergyLedger") -> None:
+        """Accumulate ``other`` into this ledger in place."""
+        self.idle_io_j += other.idle_io_j
+        self.active_io_j += other.active_io_j
+        self.logic_leak_j += other.logic_leak_j
+        self.logic_dyn_j += other.logic_dyn_j
+        self.dram_leak_j += other.dram_leak_j
+        self.dram_dyn_j += other.dram_dyn_j
+
+
+#: Display order of the Figure 5 stack.
+_CATEGORIES = (
+    "idle_io",
+    "active_io",
+    "logic_leak",
+    "logic_dyn",
+    "dram_leak",
+    "dram_dyn",
+)
+
+
+@dataclass
+class PowerBreakdown:
+    """Average power (watts) per category, the unit of Figures 5/8/11.
+
+    Built from one or many ledgers over a simulated window; ``per_hmc``
+    divides by the module count as the paper's per-HMC plots do.
+    """
+
+    watts: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_ledgers(
+        cls, ledgers: Iterable[EnergyLedger], window_ns: float, num_modules: int
+    ) -> "PowerBreakdown":
+        """Average per-HMC power from per-module ledgers over a window."""
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        if num_modules < 1:
+            raise ValueError("need at least one module")
+        total = EnergyLedger()
+        for ledger in ledgers:
+            total.add(ledger)
+        seconds = window_ns * 1e-9
+        scale = 1.0 / (seconds * num_modules)
+        watts = {
+            "idle_io": total.idle_io_j * scale,
+            "active_io": total.active_io_j * scale,
+            "logic_leak": total.logic_leak_j * scale,
+            "logic_dyn": total.logic_dyn_j * scale,
+            "dram_leak": total.dram_leak_j * scale,
+            "dram_dyn": total.dram_dyn_j * scale,
+        }
+        return cls(watts=watts)
+
+    @property
+    def total_w(self) -> float:
+        """Total average power per HMC."""
+        return sum(self.watts.values())
+
+    @property
+    def io_w(self) -> float:
+        """I/O power per HMC (idle + active)."""
+        return self.watts["idle_io"] + self.watts["active_io"]
+
+    @property
+    def idle_io_fraction(self) -> float:
+        """Idle I/O power as a fraction of total (Figure 8's metric)."""
+        total = self.total_w
+        return self.watts["idle_io"] / total if total else 0.0
+
+    @property
+    def io_fraction(self) -> float:
+        """I/O power as a fraction of total (the paper's 73 % headline)."""
+        total = self.total_w
+        return self.io_w / total if total else 0.0
+
+    def as_row(self) -> List[float]:
+        """Values in Figure 5 stack order."""
+        return [self.watts[c] for c in _CATEGORIES]
+
+    @staticmethod
+    def categories() -> List[str]:
+        """Category names in Figure 5 stack order."""
+        return list(_CATEGORIES)

@@ -1,0 +1,128 @@
+"""HMC power model, after Pugsley et al. (IEEE Micro 2014), Section III-B.
+
+A high-radix HMC with 12.5 Gbps lanes peaks at 13.4 W, attributed
+
+* 43 % to the DRAM dies,
+* 22 % to the logic portion of the logic die ("logic"),
+* 35 % to the I/O links.
+
+When idle, DRAM consumes 10 % of its peak, logic 25 % of its peak, and
+I/O the *same as active* -- high-speed links keep transmitting to stay
+synchronized, which is precisely the problem the paper attacks.
+
+Low-radix HMCs (two full links instead of four) are assumed to peak at
+half the power with the same relative breakdown, following the paper's
+"peak power proportional to bandwidth" assumption.  Conveniently this
+makes per-link-endpoint I/O power identical across radices:
+
+    high: 13.4 * 0.35 / (4 links * 2 dirs) = 0.586 W per endpoint
+    low:   6.7 * 0.35 / (2 links * 2 dirs) = 0.586 W per endpoint
+
+Dynamic (utilization-proportional) DRAM and logic energy are derived by
+spreading the active-minus-idle power over the module's peak throughput,
+which also comes out radix-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mechanisms import FLIT_TIME_FULL_NS
+from repro.dram.timing import DEFAULT_TIMING, DramTiming
+from repro.network.topology import Radix
+
+__all__ = ["HmcPowerModel", "DEFAULT_POWER_MODEL"]
+
+
+@dataclass(frozen=True)
+class HmcPowerModel:
+    """Peak power and breakdown for networked HMC modules."""
+
+    high_radix_peak_w: float = 13.4
+    dram_fraction: float = 0.43
+    logic_fraction: float = 0.22
+    io_fraction: float = 0.35
+    dram_idle_fraction: float = 0.10
+    logic_idle_fraction: float = 0.25
+    lane_gbps: float = 12.5
+    timing: DramTiming = DEFAULT_TIMING
+
+    def __post_init__(self) -> None:
+        total = self.dram_fraction + self.logic_fraction + self.io_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"power fractions must sum to 1, got {total}")
+
+    # ------------------------------------------------------------------
+    # Peak power per component
+    # ------------------------------------------------------------------
+    def peak_w(self, radix: Radix) -> float:
+        """Peak module power: 13.4 W high radix, half that for low."""
+        scale = 1.0 if radix is Radix.HIGH else 0.5
+        return self.high_radix_peak_w * scale
+
+    def dram_peak_w(self, radix: Radix) -> float:
+        """Peak power of the stacked DRAM dies."""
+        return self.peak_w(radix) * self.dram_fraction
+
+    def logic_peak_w(self, radix: Radix) -> float:
+        """Peak power of the logic-die routing/control logic."""
+        return self.peak_w(radix) * self.logic_fraction
+
+    def io_peak_w(self, radix: Radix) -> float:
+        """Peak power of all the module's I/O link endpoints."""
+        return self.peak_w(radix) * self.io_fraction
+
+    # ------------------------------------------------------------------
+    # Leakage / idle power
+    # ------------------------------------------------------------------
+    def dram_leakage_w(self, radix: Radix) -> float:
+        """Idle (leakage) power of the DRAM dies: 10 % of their peak."""
+        return self.dram_peak_w(radix) * self.dram_idle_fraction
+
+    def logic_leakage_w(self, radix: Radix) -> float:
+        """Idle power of the logic: 25 % of its peak."""
+        return self.logic_peak_w(radix) * self.logic_idle_fraction
+
+    # ------------------------------------------------------------------
+    # Per-link I/O power
+    # ------------------------------------------------------------------
+    def link_endpoint_w(self, radix: Radix = Radix.HIGH) -> float:
+        """Full power of one unidirectional-link endpoint (TX or RX side).
+
+        Radix-independent by construction (0.586 W with defaults); the
+        ``radix`` argument documents intent at call sites.
+        """
+        return self.io_peak_w(radix) / (radix.full_links * 2)
+
+    # ------------------------------------------------------------------
+    # Dynamic energy coefficients
+    # ------------------------------------------------------------------
+    def dram_energy_per_access_j(self, radix: Radix = Radix.HIGH) -> float:
+        """Dynamic DRAM energy of one 64 B access.
+
+        Spreads the active power (peak minus leakage) over the module's
+        peak access rate.  Low-radix modules are assumed to sustain half
+        the rate (their links cap bandwidth), making the per-access
+        energy radix-independent (~1.3 nJ with defaults).
+        """
+        active_w = self.dram_peak_w(radix) - self.dram_leakage_w(radix)
+        rate = self.timing.max_accesses_per_ns * 1e9  # accesses per second
+        if radix is Radix.LOW:
+            rate *= 0.5
+        return active_w / rate
+
+    def logic_energy_per_flit_j(self, radix: Radix = Radix.HIGH) -> float:
+        """Dynamic logic energy to route one flit through the logic die.
+
+        Spreads active logic power over the router's peak flit rate (one
+        flit per link per 0.64 ns slot across all unidirectional links).
+        Radix-independent with the half-peak low-radix assumption.
+        """
+        active_w = self.logic_peak_w(radix) - self.logic_leakage_w(radix)
+        links = radix.full_links * 2
+        peak_flits_per_s = links / FLIT_TIME_FULL_NS * 1e9
+        return active_w / peak_flits_per_s
+
+
+#: The paper's published model.
+DEFAULT_POWER_MODEL = HmcPowerModel()

@@ -1,0 +1,5 @@
+"""Discrete-event simulation substrate."""
+
+from repro.sim.engine import SimulationError, Simulator
+
+__all__ = ["Simulator", "SimulationError"]

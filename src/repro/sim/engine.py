@@ -1,0 +1,116 @@
+"""Deterministic discrete-event simulation engine.
+
+The whole reproduction is built on a single, very small discrete-event
+core: a priority queue of ``(time, sequence, callback)`` triples.  The
+sequence number breaks ties so that two events scheduled for the same
+instant always fire in the order they were scheduled, which makes every
+simulation bit-reproducible for a given seed.
+
+Time is measured in nanoseconds and carried as a ``float``.  All of the
+latencies in the paper (0.64 ns flit slots, 3.2 ns SERDES, 14 ns wakeups,
+100 us epochs) are exactly representable or comfortably inside double
+precision for the simulated windows we use (a few milliseconds).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is driven outside its contract."""
+
+
+class Simulator:
+    """A minimal deterministic event-driven simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    __slots__ = ("now", "_queue", "_seq", "_stopped", "_events_processed")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list = []
+        self._seq: int = 0
+        self._stopped: bool = False
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire at absolute time ``when`` ns."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (when={when}, now={self.now})"
+            )
+        heapq.heappush(self._queue, (when, self._seq, callback))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Events scheduled exactly at ``until`` are *not* executed; the clock
+        is left at ``until`` so a subsequent ``run`` continues seamlessly.
+        """
+        queue = self._queue
+        processed = 0
+        self._stopped = False
+        while queue and not self._stopped:
+            when, _seq, callback = queue[0]
+            if until is not None and when >= until:
+                self.now = until
+                self._events_processed += processed
+                return
+            heapq.heappop(queue)
+            self.now = when
+            callback()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if until is not None and not self._stopped:
+            self.now = max(self.now, until)
+        self._events_processed += processed
+
+    def stop(self) -> None:
+        """Stop the current ``run`` after the in-flight event returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]

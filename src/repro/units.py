@@ -1,0 +1,54 @@
+"""Unit conventions and conversion helpers.
+
+All simulation time is expressed in **nanoseconds** (float), energies in
+**joules**, powers in **watts**, capacities in **bytes**.  These helpers
+keep the literal constants in configuration code self-describing.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "S",
+    "KB",
+    "MB",
+    "GB",
+    "ns_to_s",
+    "s_to_ns",
+    "gbps_lane_to_bytes_per_ns",
+]
+
+#: One nanosecond, the base time unit.
+NS: float = 1.0
+#: One microsecond in nanoseconds.
+US: float = 1_000.0
+#: One millisecond in nanoseconds.
+MS: float = 1_000_000.0
+#: One second in nanoseconds.
+S: float = 1_000_000_000.0
+
+#: Capacity units (bytes).
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+
+
+def ns_to_s(t_ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return t_ns * 1e-9
+
+
+def s_to_ns(t_s: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return t_s * 1e9
+
+
+def gbps_lane_to_bytes_per_ns(gbps: float, lanes: int) -> float:
+    """Aggregate link bandwidth in bytes/ns for ``lanes`` at ``gbps`` each.
+
+    1 Gbps = 1 bit/ns, so ``lanes`` lanes at ``gbps`` move
+    ``lanes * gbps / 8`` bytes per nanosecond.
+    """
+    return lanes * gbps / 8.0

@@ -1,0 +1,71 @@
+"""Unit tests for AMS accounting (Equation 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ams import SlowdownAccount
+
+
+class TestSlowdownAccount:
+    def test_no_overhead_accumulates_full_allowance(self):
+        acc = SlowdownAccount()
+        acc.record_epoch(fel=1000.0, ael=1000.0)
+        # AMS = alpha * sum FEL - sum(AEL - FEL).
+        assert acc.ams(0.05) == pytest.approx(50.0)
+
+    def test_overhead_spends_allowance(self):
+        acc = SlowdownAccount()
+        acc.record_epoch(fel=1000.0, ael=1030.0)
+        assert acc.ams(0.05) == pytest.approx(50.0 - 30.0)
+
+    def test_overshoot_goes_negative(self):
+        acc = SlowdownAccount()
+        acc.record_epoch(fel=1000.0, ael=1100.0)
+        assert acc.ams(0.05) < 0
+
+    def test_allowance_recovers_over_epochs(self):
+        acc = SlowdownAccount()
+        acc.record_epoch(fel=1000.0, ael=1100.0)  # 100 over, 50 earned
+        assert acc.ams(0.05) == pytest.approx(-50.0)
+        acc.record_epoch(fel=1000.0, ael=1000.0)  # earn 50 more
+        assert acc.ams(0.05) == pytest.approx(0.0)
+        acc.record_epoch(fel=1000.0, ael=1000.0)
+        assert acc.ams(0.05) == pytest.approx(50.0)
+
+    def test_alpha_scales_budget(self):
+        acc = SlowdownAccount()
+        acc.record_epoch(fel=2000.0, ael=2000.0)
+        assert acc.ams(0.025) == pytest.approx(50.0)
+        assert acc.ams(0.05) == pytest.approx(100.0)
+
+    def test_faster_than_full_power_earns_extra(self):
+        # AEL below FEL (e.g. read priority beats the FIFO estimate)
+        # credits the account, per the Equation 1 algebra.
+        acc = SlowdownAccount()
+        acc.record_epoch(fel=1000.0, ael=900.0)
+        assert acc.ams(0.05) == pytest.approx(150.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    epochs=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e6),
+            st.floats(min_value=0, max_value=1e6),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    alpha=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_equation1_closed_form(epochs, alpha):
+    """The incremental account equals Equation 1's closed form."""
+    acc = SlowdownAccount()
+    for fel, ael in epochs:
+        acc.record_epoch(fel, ael)
+    total_fel = sum(f for f, _ in epochs)
+    total_overhead = sum(a - f for f, a in epochs)
+    assert acc.ams(alpha) == pytest.approx(
+        alpha * total_fel - total_overhead, rel=1e-9, abs=1e-6
+    )

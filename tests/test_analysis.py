@@ -1,0 +1,151 @@
+"""Tests for the analytical queueing and power models, including
+cross-checks against the event-driven simulator."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    LinkLoadModel,
+    link_service_time_ns,
+    link_utilization,
+    md1_latency_ns,
+    md1_wait_ns,
+    predict_full_power_breakdown,
+    predict_idle_io_fraction,
+)
+from repro.network.topology import daisychain, ternary_tree
+
+
+class TestMd1:
+    def test_zero_load_zero_wait(self):
+        assert md1_wait_ns(3.2, 0.0) == 0.0
+
+    def test_wait_grows_with_load(self):
+        waits = [md1_wait_ns(3.2, rho) for rho in (0.1, 0.5, 0.9)]
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_half_load_half_service(self):
+        # rho = 0.5: W = 0.5 * S / (2 * 0.5) = S / 2.
+        assert md1_wait_ns(10.0, 0.5) == pytest.approx(5.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            md1_wait_ns(3.2, 1.0)
+
+    def test_latency_adds_pipeline(self):
+        assert md1_latency_ns(2.0, 0.0, pipeline_ns=3.2) == pytest.approx(5.2)
+
+
+class TestLinkHelpers:
+    def test_service_time_full_width(self):
+        # 5-flit response packet at full width: 3.2 ns.
+        assert link_service_time_ns(5) == pytest.approx(3.2)
+
+    def test_service_time_narrowed(self):
+        assert link_service_time_ns(5, 0.5) == pytest.approx(6.4)
+
+    def test_utilization(self):
+        # One 5-flit packet every 32 ns at full width: rho = 0.1.
+        assert link_utilization(1 / 32, 5) == pytest.approx(0.1)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            link_service_time_ns(5, 0.0)
+
+
+class TestLinkLoadModel:
+    def test_narrowing_cost_grows(self):
+        model = LinkLoadModel(packets_per_ns=0.05, flits=5)
+        assert model.stable
+        cost_half = model.narrowing_cost_ns(0.5)
+        cost_quarter = model.narrowing_cost_ns(0.25)
+        assert 0 < cost_half < cost_quarter
+
+    def test_unstable_narrowing_infinite(self):
+        model = LinkLoadModel(packets_per_ns=0.2, flits=5)  # rho=0.64
+        assert model.narrowing_cost_ns(1 / 16) == math.inf
+
+    def test_unstable_latency_infinite(self):
+        model = LinkLoadModel(packets_per_ns=1.0, flits=5)
+        assert not model.stable
+        assert model.mean_latency_ns() == math.inf
+
+
+class TestSimulatorCrossCheck:
+    def test_md1_predicts_simulated_link_latency(self):
+        """Drive one link with Poisson arrivals; the measured mean
+        latency should sit near the M/D/1 prediction."""
+        from repro.core.mechanisms import make_mechanism
+        from repro.network.links import LinkController, LinkDir
+        from repro.network.packets import Packet, PacketKind
+        from repro.power.accounting import EnergyLedger
+        from repro.sim import Simulator
+
+        rate = 0.1  # packets per ns, rho = 0.32
+        sim = Simulator()
+        link = LinkController(
+            sim, "x", LinkDir.RESPONSE, 0, -1, make_mechanism("FP"),
+            0.58625, EnergyLedger(), EnergyLedger(),
+        )
+        link.deliver = lambda pkt, now: None
+        link.start(0.0)
+        rng = random.Random(9)
+        t = 0.0
+        for _ in range(4000):
+            t += rng.expovariate(rate)
+            pkt = Packet(kind=PacketKind.READ_RESP, address=0, dest=-1)
+            sim.schedule_at(t, lambda p=pkt: link.enqueue(p, sim.now))
+        sim.run()
+        measured = link.ep_actual_read_lat / link.ep_reads
+        predicted = md1_latency_ns(3.2, rate * 3.2, pipeline_ns=3.2)
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+
+class TestPowerPrediction:
+    def test_prediction_matches_simulated_full_power(self):
+        """The closed-form Figure 5 predictor lands near the simulator."""
+        from repro.harness.experiment import ExperimentConfig, run_experiment
+
+        res = run_experiment(ExperimentConfig(
+            workload="lu.D", topology="daisychain",
+            window_ns=100_000.0,
+        ))
+        rate = (res.completed_reads + res.completed_writes) / 100_000.0
+        predicted = predict_full_power_breakdown(
+            daisychain(res.num_modules),
+            avg_link_utilization=res.link_utilization,
+            accesses_per_ns=rate,
+        )
+        for category in ("idle_io", "dram_leak", "logic_leak"):
+            assert predicted[category] == pytest.approx(
+                res.breakdown.watts[category], rel=0.2
+            ), category
+
+    def test_idle_fraction_above_half_for_low_util(self):
+        frac = predict_idle_io_fraction(ternary_tree(13), 0.05, 0.1)
+        assert frac > 0.5
+
+    def test_higher_util_lower_idle_fraction(self):
+        low = predict_idle_io_fraction(daisychain(5), 0.05, 0.05)
+        high = predict_idle_io_fraction(daisychain(5), 0.5, 0.4)
+        assert high < low
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            predict_full_power_breakdown(daisychain(2), avg_link_utilization=1.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    service=st.floats(min_value=0.1, max_value=100),
+    rho=st.floats(min_value=0.0, max_value=0.99),
+)
+def test_md1_wait_nonnegative_and_monotone(service, rho):
+    wait = md1_wait_ns(service, rho)
+    assert wait >= 0.0
+    if rho < 0.98:
+        assert md1_wait_ns(service, rho + 0.01) >= wait

@@ -1,0 +1,124 @@
+"""Tests for the network-aware policy's ablation knobs."""
+
+import pytest
+
+from repro.core.aware import NetworkAwarePolicy
+from repro.core.mechanisms import make_mechanism
+from repro.network import MemoryNetwork, build_topology
+from repro.sim import Simulator
+from repro.workloads.mapping import AddressMapping
+
+GB = 1024**3
+
+
+def make(mechanism="VWL+ROO", **kwargs):
+    sim = Simulator()
+    topo = build_topology("daisychain", 3)
+    mapping = AddressMapping(num_modules=3, granularity_bytes=GB)
+    net = MemoryNetwork(sim, topo, make_mechanism(mechanism), mapping)
+    policy = NetworkAwarePolicy(net, alpha=0.05, epoch_ns=10_000.0, **kwargs)
+    return sim, net, policy
+
+
+class TestDefaults:
+    def test_all_features_on(self):
+        _sim, _net, policy = make()
+        assert policy.isp_iterations == 3
+        assert policy.enable_wakeup_hiding
+        assert policy.enable_congestion_discount
+        assert policy.enable_grant_pool
+
+    def test_default_hooks(self):
+        _sim, net, policy = make()
+        net.start()
+        policy.start()
+        assert net.response_wake_mode == "path"
+        assert net.aware_sleep_gating
+
+
+class TestWakeupHidingDisabled:
+    def test_falls_back_to_module_mode(self):
+        _sim, net, policy = make(enable_wakeup_hiding=False)
+        net.start()
+        policy.start()
+        assert net.response_wake_mode == "module"
+        assert not net.aware_sleep_gating
+
+    def test_response_links_become_srcs_for_roo(self):
+        sim, net, policy = make(mechanism="ROO", enable_wakeup_hiding=False)
+        net.start()
+        policy.start()
+        policy._prepare_isp()
+        # Without hiding, response links compete for AMS like request
+        # links do (their wakeups now cost latency).
+        for m in net.modules:
+            assert m.resp_out.isp_src
+
+    def test_response_candidates_unrestricted(self):
+        _sim, net, policy = make(enable_wakeup_hiding=False)
+        policy._prepare_isp()
+        resp = net.modules[0].resp_out
+        roo_indices = {c[0].roo_index for c in policy._cands[resp]}
+        assert len(roo_indices) == 4
+
+
+class TestGrantPoolDisabled:
+    def test_pool_stays_empty(self):
+        sim, net, policy = make(enable_grant_pool=False)
+        net.start()
+        policy.start()
+        sim.run(until=25_000.0)
+        assert policy._grant_pool == 0.0
+
+    def test_violation_goes_straight_to_full_power(self):
+        sim, net, policy = make(enable_grant_pool=False)
+        net.start()
+        policy.start()
+        link = net.modules[0].req_in
+        link.violated = False
+        policy._on_violation(link)
+        assert link.violated
+
+
+class TestIterationCount:
+    def test_single_iteration_allowed(self):
+        _sim, _net, policy = make(isp_iterations=1)
+        assert policy.isp_iterations == 1
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            make(isp_iterations=0)
+
+    def test_assignment_still_valid_with_one_iteration(self):
+        sim, net, policy = make(isp_iterations=1)
+        net.start()
+        policy.start()
+        for i in range(60):
+            net.inject_read((i % 3) * GB, float(i) * 20)
+        sim.run(until=9_000.0)
+        assignments = policy._assign_budgets()
+        assert set(assignments) == set(net.all_links())
+
+
+class TestCongestionDiscountDisabled:
+    def test_totals_equal_raw_overhead(self):
+        import random
+
+        sim, net, policy = make(enable_congestion_discount=False)
+        net.start()
+        policy.start()
+        rng = random.Random(4)
+        t = 0.0
+        for _ in range(300):
+            t += rng.expovariate(1 / 10.0)
+            net.inject_read(rng.randrange(0, 3 * GB, 64), t)
+        sim.run(until=t + 2000.0)
+        from repro.core.ams import module_fel_ael
+
+        _fel, overhead = policy._discounted_epoch_totals()
+        raw = sum(
+            module_fel_ael(m, policy.dram_read_latency_ns)[1]
+            - module_fel_ael(m, policy.dram_read_latency_ns)[0]
+            for m in net.modules
+        )
+        assert overhead == pytest.approx(raw, rel=1e-9, abs=1e-6)

@@ -1,0 +1,94 @@
+"""Tests for the terminal chart renderers."""
+
+from repro.harness.charts import bar_chart, histogram, line_chart, stacked_bar_chart
+
+
+class TestBarChart:
+    def test_renders_all_labels_and_values(self):
+        out = bar_chart([("alpha", 1.0), ("beta", 2.0)], width=10)
+        assert "alpha" in out and "beta" in out
+        assert "1" in out and "2" in out
+
+    def test_longest_bar_fills_width(self):
+        out = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        a_line, b_line = out.splitlines()
+        assert a_line.count("█") == 10
+        assert 4 <= b_line.count("█") <= 5
+
+    def test_title_and_unit(self):
+        out = bar_chart([("x", 3.0)], title="Power", unit="W")
+        assert out.splitlines()[0] == "Power"
+        assert "3W" in out
+
+    def test_empty(self):
+        assert bar_chart([], title="T") == "T"
+
+    def test_zero_values(self):
+        out = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "█" not in out
+
+    def test_explicit_vmax_scales(self):
+        out = bar_chart([("a", 5.0)], width=10, vmax=10.0)
+        assert out.count("█") == 5
+
+
+class TestStackedBarChart:
+    def test_total_reported(self):
+        out = stacked_bar_chart(
+            [("fp", {"idle": 1.0, "active": 0.5})],
+            categories=["idle", "active"],
+        )
+        assert "1.5" in out
+
+    def test_legend_lists_categories(self):
+        out = stacked_bar_chart(
+            [("x", {"a": 1.0, "b": 1.0})], categories=["a", "b"]
+        )
+        assert "=a" in out and "=b" in out
+
+    def test_missing_categories_treated_as_zero(self):
+        out = stacked_bar_chart([("x", {"a": 2.0})], categories=["a", "b"])
+        assert "2" in out
+
+    def test_empty(self):
+        assert stacked_bar_chart([], categories=["a"], title="S") == "S"
+
+
+class TestLineChart:
+    def test_axes_ranges_shown(self):
+        out = line_chart([("s", [(0.0, 0.0), (10.0, 5.0)])], width=20, height=5)
+        assert "x: 0 .. 10" in out
+        assert "y: 0 .. 5" in out
+
+    def test_series_legend(self):
+        out = line_chart(
+            [("up", [(0, 0), (1, 1)]), ("down", [(0, 1), (1, 0)])],
+            width=10, height=4,
+        )
+        assert "0=up" in out and "1=down" in out
+
+    def test_marks_present(self):
+        out = line_chart([("s", [(0, 0), (1, 1)])], width=10, height=4)
+        assert "0" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = line_chart([("flat", [(0, 2.0), (5, 2.0)])], width=10, height=4)
+        assert "flat" in out
+
+    def test_empty(self):
+        assert line_chart([], title="L") == "L"
+
+
+class TestHistogram:
+    def test_counts_distributed(self):
+        out = histogram([1.0] * 5 + [9.0] * 5, bins=2, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("█") == lines[1].count("█")
+
+    def test_single_value(self):
+        out = histogram([3.0, 3.0], bins=4)
+        assert "█" in out
+
+    def test_empty(self):
+        assert histogram([], title="H") == "H"

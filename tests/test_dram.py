@@ -1,0 +1,153 @@
+"""Unit tests for the DRAM vault timing model (Table I)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import DEFAULT_TIMING, DramTiming, Vault, VaultSet
+
+
+class TestTiming:
+    def test_table1_parameters(self):
+        t = DEFAULT_TIMING
+        assert t.capacity_bytes == 4 * 1024**3
+        assert t.vaults == 32
+        assert t.vault_data_rate_gbps == 2.0
+        assert t.vault_io_width == 32
+        assert t.vault_buffer_entries == 16
+        assert (t.tCL, t.tRCD, t.tRAS, t.tRP, t.tRRD, t.tWR) == (
+            11, 11, 22, 11, 5, 12,
+        )
+
+    def test_burst_is_8ns(self):
+        # 64 B * 8 bits over 32 lanes at 2 Gbps.
+        assert DEFAULT_TIMING.burst_ns == pytest.approx(8.0)
+
+    def test_read_latency_is_30ns(self):
+        # The figure the paper uses in its slowdown accounting.
+        assert DEFAULT_TIMING.read_latency_ns == pytest.approx(30.0)
+
+    def test_row_cycle(self):
+        assert DEFAULT_TIMING.read_bank_occupancy_ns == pytest.approx(33.0)
+
+    def test_peak_rate(self):
+        # 32 vaults, one line per 8 ns each -> 4 accesses/ns = 256 GB/s.
+        assert DEFAULT_TIMING.max_accesses_per_ns == pytest.approx(4.0)
+
+    def test_invalid_vaults_rejected(self):
+        with pytest.raises(ValueError):
+            DramTiming(vaults=0)
+
+
+class TestVault:
+    def test_unloaded_read_latency(self):
+        v = Vault(DEFAULT_TIMING)
+        access = v.access(100.0, bank=0, is_read=True)
+        assert access.start == 100.0
+        assert access.data_ready == pytest.approx(130.0)
+
+    def test_same_bank_reads_serialize_on_row_cycle(self):
+        v = Vault(DEFAULT_TIMING)
+        first = v.access(0.0, bank=0, is_read=True)
+        second = v.access(0.0, bank=0, is_read=True)
+        assert second.start >= first.done
+
+    def test_different_banks_overlap_but_respect_trrd(self):
+        v = Vault(DEFAULT_TIMING)
+        first = v.access(0.0, bank=0, is_read=True)
+        second = v.access(0.0, bank=1, is_read=True)
+        assert second.start == pytest.approx(first.start + DEFAULT_TIMING.tRRD)
+        assert second.start < first.done
+
+    def test_data_bus_serializes_bursts(self):
+        v = Vault(DEFAULT_TIMING)
+        accesses = [v.access(0.0, bank=b, is_read=True) for b in range(4)]
+        ready = [a.data_ready for a in accesses]
+        for earlier, later in zip(ready, ready[1:]):
+            assert later >= earlier + DEFAULT_TIMING.burst_ns - 1e-9
+
+    def test_write_occupancy_includes_twr(self):
+        v = Vault(DEFAULT_TIMING)
+        w = v.access(0.0, bank=0, is_read=False)
+        t = DEFAULT_TIMING
+        assert w.done == pytest.approx(
+            w.start + t.tRCD + t.burst_ns + t.tWR + t.tRP
+        )
+
+    def test_queue_backpressure_when_full(self):
+        v = Vault(DEFAULT_TIMING)
+        for _ in range(DEFAULT_TIMING.vault_buffer_entries):
+            v.access(0.0, bank=0, is_read=True)
+        overflow = v.access(0.0, bank=0, is_read=True)
+        # The 17th access cannot start until a queue entry frees up.
+        assert overflow.start > 0.0
+
+    def test_counters(self):
+        v = Vault(DEFAULT_TIMING)
+        v.access(0.0, 0, True)
+        v.access(0.0, 1, False)
+        assert v.reads == 1 and v.writes == 1 and v.accesses == 2
+
+    def test_busy_time_accumulates_bursts(self):
+        v = Vault(DEFAULT_TIMING)
+        v.access(0.0, 0, True)
+        v.access(0.0, 1, True)
+        assert v.busy_ns == pytest.approx(2 * DEFAULT_TIMING.burst_ns)
+
+
+class TestVaultSet:
+    def test_line_interleaved_mapping(self):
+        vs = VaultSet(DEFAULT_TIMING)
+        # Consecutive lines land on consecutive vaults.
+        v0, _ = vs.map_address(0)
+        v1, _ = vs.map_address(64)
+        v32, _ = vs.map_address(64 * 32)
+        assert v0 == 0 and v1 == 1 and v32 == 0
+
+    def test_bank_rotates_after_vault_wrap(self):
+        vs = VaultSet(DEFAULT_TIMING)
+        _, b0 = vs.map_address(0)
+        _, b1 = vs.map_address(64 * 32)
+        assert b1 == (b0 + 1) % DEFAULT_TIMING.banks_per_vault
+
+    def test_parallel_vaults_do_not_interfere(self):
+        vs = VaultSet(DEFAULT_TIMING)
+        a = vs.access(0.0, 0, True)
+        b = vs.access(0.0, 64, True)
+        assert a.start == b.start == 0.0
+
+    def test_aggregate_counters(self):
+        vs = VaultSet(DEFAULT_TIMING)
+        for i in range(10):
+            vs.access(0.0, i * 64, is_read=(i % 2 == 0))
+        assert vs.reads == 5 and vs.writes == 5 and vs.accesses == 10
+
+    def test_busy_fraction_bounds(self):
+        vs = VaultSet(DEFAULT_TIMING)
+        assert vs.busy_fraction(1000.0) == 0.0
+        vs.access(0.0, 0, True)
+        frac = vs.busy_fraction(1000.0)
+        assert 0.0 < frac <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=4 * 1024**3 - 64), min_size=1, max_size=40
+    ),
+)
+def test_vault_monotone_resources(addresses):
+    """Bank/bus reservations never move backwards in time."""
+    vs = VaultSet(DEFAULT_TIMING)
+    now = 0.0
+    last_ready = {}
+    for i, addr in enumerate(addresses):
+        now += 2.0
+        access = vs.access(now, addr, is_read=True)
+        assert access.start >= now
+        assert access.data_ready > access.start
+        assert access.done >= access.data_ready
+        vault, _bank = vs.map_address(addr)
+        if vault in last_ready:
+            assert access.data_ready >= last_ready[vault]
+        last_ready[vault] = access.data_ready

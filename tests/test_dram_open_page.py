@@ -1,0 +1,92 @@
+"""Tests for the open-page row-buffer policy extension."""
+
+import pytest
+
+from repro.dram import DramTiming, Vault, VaultSet
+
+OPEN = DramTiming(page_policy="open")
+
+
+class TestOpenPageVault:
+    def test_first_access_is_a_miss(self):
+        v = Vault(OPEN)
+        access = v.access(0.0, bank=0, is_read=True, row=5)
+        # Empty bank: activate (no precharge) + CAS + burst.
+        assert access.data_ready == pytest.approx(
+            OPEN.tRCD + OPEN.tCL + OPEN.burst_ns
+        )
+        assert v.row_misses == 1 and v.row_hits == 0
+
+    def test_row_hit_skips_activate(self):
+        v = Vault(OPEN)
+        first = v.access(0.0, bank=0, is_read=True, row=5)
+        second = v.access(first.done, bank=0, is_read=True, row=5)
+        # Hit: CAS + burst only.
+        assert second.data_ready - second.start == pytest.approx(
+            OPEN.tCL + OPEN.burst_ns
+        )
+        assert v.row_hits == 1
+
+    def test_row_conflict_pays_precharge(self):
+        v = Vault(OPEN)
+        first = v.access(0.0, bank=0, is_read=True, row=5)
+        conflict = v.access(first.done + 100.0, bank=0, is_read=True, row=9)
+        assert conflict.data_ready - conflict.start == pytest.approx(
+            OPEN.tRP + OPEN.tRCD + OPEN.tCL + OPEN.burst_ns
+        )
+        assert v.row_misses == 2
+
+    def test_hit_faster_than_close_page(self):
+        close_vault = Vault(DramTiming())
+        open_vault = Vault(OPEN)
+        open_vault.access(0.0, 0, True, row=1)
+        hit = open_vault.access(1000.0, 0, True, row=1)
+        close = close_vault.access(1000.0, 0, True)
+        assert (hit.data_ready - 1000.0) < (close.data_ready - 1000.0)
+
+    def test_different_banks_keep_independent_rows(self):
+        v = Vault(OPEN)
+        v.access(0.0, bank=0, is_read=True, row=1)
+        v.access(200.0, bank=1, is_read=True, row=2)
+        hit = v.access(400.0, bank=0, is_read=True, row=1)
+        assert v.row_hits == 1
+        assert hit.data_ready - hit.start == pytest.approx(OPEN.tCL + OPEN.burst_ns)
+
+    def test_close_page_counters_untouched(self):
+        v = Vault(DramTiming())
+        v.access(0.0, 0, True)
+        assert v.row_hits == 0 and v.row_misses == 0
+
+
+class TestOpenPageVaultSet:
+    def test_sequential_lines_hit_after_warmup(self):
+        vs = VaultSet(OPEN)
+        stride = OPEN.line_bytes * OPEN.vaults * OPEN.banks_per_vault
+        # Repeated access to the same line: same vault/bank/row.
+        vs.access(0.0, 0, True)
+        vs.access(1000.0, 0, True)
+        vault, _bank = vs.map_address(0)
+        assert vs.vaults[vault].row_hits == 1
+
+    def test_map_row_changes_across_rows(self):
+        vs = VaultSet(OPEN)
+        lines_per_row = OPEN.row_bytes // OPEN.line_bytes
+        stride = OPEN.line_bytes * OPEN.vaults * OPEN.banks_per_vault
+        r0 = vs.map_row(0)
+        r1 = vs.map_row(stride * lines_per_row)
+        assert r1 == r0 + 1
+
+    def test_map_row_constant_within_row(self):
+        vs = VaultSet(OPEN)
+        stride = OPEN.line_bytes * OPEN.vaults * OPEN.banks_per_vault
+        assert vs.map_row(0) == vs.map_row(stride)
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            DramTiming(page_policy="adaptive")
+
+    def test_tiny_row_rejected(self):
+        with pytest.raises(ValueError):
+            DramTiming(row_bytes=32)

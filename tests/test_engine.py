@@ -1,0 +1,140 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run()
+        assert fired == [1, 3, 5]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(7.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(12.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.5]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.schedule(9.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.0, 9.0]
+        assert sim.now == 9.0
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                sim.schedule(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 5.0
+
+
+class TestRunUntil:
+    def test_until_excludes_boundary_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("at"))
+        sim.run(until=10.0)
+        assert fired == []
+        assert sim.now == 10.0
+        sim.run()
+        assert fired == ["at"]
+
+    def test_until_advances_clock_with_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.schedule(15.0, lambda: fired.append(15))
+        sim.run(until=10.0)
+        assert fired == [5]
+        sim.run()
+        assert fired == [5, 15]
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(1)
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        # A subsequent run resumes from where it stopped.
+        sim.run()
+        assert fired == [1, 2]
+
+
+class TestIntrospection:
+    def test_pending_and_processed_counts(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        assert sim.events_processed == 0
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 2
+
+    def test_peek_next_time(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        sim.schedule(3.0, lambda: None)
+        assert sim.peek_next_time() == 3.0
+
+    def test_initial_state(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0

@@ -1,0 +1,135 @@
+"""Smoke tests for the figure-reproduction functions at tiny scale.
+
+The benchmarks exercise these at paper scale; here we verify the API
+contracts (shapes, keys, ranges) with a minimal grid so the tests stay
+fast.
+"""
+
+import pytest
+
+from repro.harness import figures as F
+from repro.harness.sweep import SweepRunner
+
+TINY = F.RunSettings(
+    workloads=("sp.D",),
+    topologies=("daisychain", "star"),
+    window_ns=60_000.0,
+    epoch_ns=15_000.0,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner()
+
+
+class TestRunSettings:
+    def test_defaults(self):
+        s = F.RunSettings()
+        assert len(s.workloads) == 4
+        assert len(s.topologies) == 4
+
+    def test_from_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        s = F.RunSettings.from_env()
+        assert s.workloads == F._FAST_WORKLOADS
+
+    def test_from_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        s = F.RunSettings.from_env()
+        assert len(s.workloads) == 14
+
+    def test_base_config_carries_settings(self):
+        cfg = TINY.base_config(workload="sp.D", mechanism="VWL")
+        assert cfg.window_ns == 60_000.0
+        assert cfg.epoch_ns == 15_000.0
+
+
+class TestFig4:
+    def test_series_for_all_workloads(self):
+        series = F.fig4_workload_cdfs()
+        assert len(series) == 14
+        for _name, points in series:
+            assert points[0][1] == 0.0
+            assert points[-1][1] == 1.0
+
+
+class TestCharacterizationFigures:
+    def test_fig5_rows_shape(self, runner):
+        rows = F.fig5_power_breakdown(runner, TINY)
+        # 2 scales x (2 topologies + avg row).
+        assert len(rows) == 6
+        for _scale, _topo, watts in rows:
+            assert set(watts) == {
+                "idle_io", "active_io", "logic_leak", "logic_dyn",
+                "dram_leak", "dram_dyn",
+            }
+            assert all(v >= 0 for v in watts.values())
+
+    def test_fig6_positive_hops(self, runner):
+        rows = F.fig6_modules_traversed(runner, TINY)
+        assert len(rows) == 4
+        assert all(h >= 1.0 for *_x, h in rows)
+
+    def test_fig8_fractions_in_range(self, runner):
+        rows = F.fig8_idle_io_fraction(runner, TINY)
+        assert all(0.0 < f < 1.0 for *_x, f in rows)
+
+    def test_fig9_link_below_channel(self, runner):
+        rows = F.fig9_utilization(runner, TINY)
+        for *_x, chan, link in rows:
+            assert 0.0 <= link <= chan + 0.01
+
+
+class TestManagementFigures:
+    def test_fig11_has_fp_and_managed_rows(self, runner):
+        rows = F.fig11_unaware_power(runner, TINY)
+        labels = {label for _s, _t, label, _a, _w in rows}
+        assert labels == {"FP", "VWL", "ROO", "VWL+ROO"}
+        assert all(w > 0 for *_x, w in rows)
+
+    def test_fig12_degradations_bounded(self, runner):
+        rows = F.fig12_unaware_performance(runner, TINY)
+        for *_x, avg, worst in rows:
+            assert avg <= worst + 1e-12
+            assert worst < 0.5
+
+    def test_fig15_rows_cover_grid(self, runner):
+        rows = F.fig15_aware_vs_unaware(runner, TINY)
+        assert len(rows) == 2 * 3 * 2 * 2  # scales x mechs x alphas x topos
+
+    def test_fig16_rows(self, runner):
+        rows = F.fig16_per_workload_savings(runner, TINY)
+        assert len(rows) == 1 * 3 * 2  # workloads x mechs x policies
+        for _w, _m, policy, reduction in rows:
+            assert policy in ("unaware", "aware")
+            assert -0.5 < reduction < 1.0
+
+    def test_fig13_bucket_structure(self, runner):
+        dist = F.fig13_link_hours(runner, TINY, policy="unaware", scale="small")
+        assert set(dist) == {"0-1%", "1-5%", "5-10%", "10-20%", "20-100%"}
+        total = sum(v for per_mode in dist.values() for v in per_mode.values())
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig17_rows_structure(self, runner):
+        rows = F.fig17_aware_performance(runner, TINY)
+        assert len(rows) == 2 * 3 * 2 * 2
+        for *_x, avg_rel, max_fp in rows:
+            assert max_fp < 0.5
+
+    def test_fig18_labels(self, runner):
+        rows = F.fig18_dvfs_sensitivity(runner, TINY)
+        labels = {label for _s, label, _p, _r, _d in rows}
+        assert labels == {"DVFS", "ROO@20ns", "DVFS+ROO@20ns"}
+
+    def test_sec7_keys(self, runner):
+        stats = F.sec7_static_comparison(runner, TINY, scale="small")
+        assert {
+            "static_avg_degradation",
+            "static_max_degradation",
+            "static_top_quarter_degradation",
+            "aware_avg_degradation",
+            "aware_max_degradation",
+            "aware_top_quarter_degradation",
+            "aware_power_reduction_vs_static",
+        } == set(stats)

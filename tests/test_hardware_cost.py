@@ -1,0 +1,95 @@
+"""Tests for the hardware-overhead accounting."""
+
+import pytest
+
+from repro.core.hardware_cost import (
+    CounterBudget,
+    ISP_MESSAGE_BYTES,
+    link_counter_bits,
+    module_counter_bits,
+    network_overhead,
+)
+from repro.core.mechanisms import make_mechanism
+from repro.network.topology import daisychain, ternary_tree
+
+
+class TestCounterBudget:
+    def test_total_sums_fields(self):
+        budget = CounterBudget(delay_monitors=10, actual_latency=5, equation1=1)
+        assert budget.total_bits == 16
+        assert budget.total_bytes == 2.0
+
+
+class TestLinkCounters:
+    def test_fp_needs_only_full_power_monitor(self):
+        budget = link_counter_bits(make_mechanism("FP"), network_aware=False)
+        assert budget.idle_histogram == 0
+        assert budget.congestion == 0
+        assert budget.delay_monitors > 0
+
+    def test_roo_adds_histogram_and_sampling(self):
+        fp = link_counter_bits(make_mechanism("FP"), False)
+        roo = link_counter_bits(make_mechanism("ROO"), False)
+        assert roo.idle_histogram > 0
+        assert roo.wake_sampling > 0
+        assert roo.total_bits > fp.total_bits
+
+    def test_more_width_modes_more_monitors(self):
+        vwl = link_counter_bits(make_mechanism("VWL"), False)
+        fp = link_counter_bits(make_mechanism("FP"), False)
+        assert vwl.delay_monitors == 4 * fp.delay_monitors
+
+    def test_aware_adds_congestion_counters(self):
+        unaware = link_counter_bits(make_mechanism("VWL"), False)
+        aware = link_counter_bits(make_mechanism("VWL"), True)
+        assert aware.congestion > 0
+        assert aware.total_bits > unaware.total_bits
+
+    def test_per_link_state_is_small(self):
+        # The paper's cheapness claim: well under a kilobyte per link.
+        budget = link_counter_bits(make_mechanism("DVFS+ROO"), True)
+        assert budget.total_bytes < 1024
+
+
+class TestModuleCounters:
+    def test_equation1_state(self):
+        budget = module_counter_bits()
+        assert budget.equation1 > 0
+        assert budget.total_bytes < 64
+
+
+class TestNetworkOverhead:
+    def test_unaware_sends_no_messages(self):
+        overhead = network_overhead(
+            daisychain(5), make_mechanism("VWL"), network_aware=False
+        )
+        assert overhead.isp_messages_per_epoch == 0
+        assert overhead.isp_wire_time_ns == 0.0
+
+    def test_isp_message_count(self):
+        overhead = network_overhead(
+            ternary_tree(13), make_mechanism("VWL"), network_aware=True,
+            isp_iterations=3,
+        )
+        # 3 iterations x (gather + scatter) x 13 modules.
+        assert overhead.isp_messages_per_epoch == 3 * 2 * 13
+        assert overhead.isp_bytes_per_epoch == overhead.isp_messages_per_epoch * ISP_MESSAGE_BYTES
+
+    def test_isp_traffic_negligible(self):
+        # The distributed algorithm's wire time is a vanishing fraction
+        # of a 100 us epoch even for large networks.
+        overhead = network_overhead(
+            daisychain(34), make_mechanism("VWL+ROO"), network_aware=True
+        )
+        assert overhead.isp_wire_fraction_of_epoch < 0.01
+
+    def test_counter_state_scales_linearly(self):
+        small = network_overhead(daisychain(4), make_mechanism("VWL"), True)
+        big = network_overhead(daisychain(8), make_mechanism("VWL"), True)
+        assert big.total_counter_bits == 2 * small.total_counter_bits
+
+    def test_per_module_bytes_modest(self):
+        overhead = network_overhead(
+            ternary_tree(13), make_mechanism("DVFS+ROO"), network_aware=True
+        )
+        assert overhead.counter_bytes_per_module < 2048

@@ -1,0 +1,57 @@
+"""Tests for customized power models (non-default technologies)."""
+
+import pytest
+
+from repro.network.topology import Radix
+from repro.power.hmc_power import HmcPowerModel
+
+
+class TestCustomModels:
+    def test_scaled_peak_scales_everything(self):
+        base = HmcPowerModel()
+        double = HmcPowerModel(high_radix_peak_w=26.8)
+        assert double.dram_peak_w(Radix.HIGH) == pytest.approx(
+            2 * base.dram_peak_w(Radix.HIGH)
+        )
+        assert double.link_endpoint_w() == pytest.approx(
+            2 * base.link_endpoint_w()
+        )
+
+    def test_alternative_breakdown(self):
+        model = HmcPowerModel(
+            dram_fraction=0.5, logic_fraction=0.2, io_fraction=0.3
+        )
+        assert model.io_peak_w(Radix.HIGH) == pytest.approx(13.4 * 0.3)
+
+    def test_breakdown_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            HmcPowerModel(dram_fraction=0.4, logic_fraction=0.4, io_fraction=0.4)
+
+    def test_idle_fraction_overrides(self):
+        aggressive = HmcPowerModel(dram_idle_fraction=0.02)
+        default = HmcPowerModel()
+        assert aggressive.dram_leakage_w(Radix.HIGH) < default.dram_leakage_w(Radix.HIGH)
+
+    def test_custom_model_flows_into_network(self):
+        from repro.core.mechanisms import make_mechanism
+        from repro.network import MemoryNetwork, build_topology
+        from repro.sim import Simulator
+        from repro.workloads.mapping import AddressMapping
+
+        cheap = HmcPowerModel(high_radix_peak_w=6.7)
+        sim = Simulator()
+        net = MemoryNetwork(
+            sim,
+            build_topology("daisychain", 2),
+            make_mechanism("FP"),
+            AddressMapping(num_modules=2, granularity_bytes=1024**3),
+            power_model=cheap,
+        )
+        net.start()
+        sim.run(until=1e5)
+        net.finalize(1e5)
+        total = sum(m.ledger.total_j for m in net.modules)
+        # Half the peak power model burns half the idle energy.
+        default_endpoint = HmcPowerModel().link_endpoint_w()
+        assert net.channel_req.endpoint_w == pytest.approx(default_endpoint / 2)
+        assert total > 0

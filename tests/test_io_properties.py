@@ -1,0 +1,45 @@
+"""Property tests for serialization round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.io import config_from_dict, config_to_dict
+from repro.workloads.profiles import WORKLOAD_NAMES
+from repro.workloads.traces import TraceRecord
+
+config_strategy = st.builds(
+    ExperimentConfig,
+    workload=st.sampled_from(WORKLOAD_NAMES),
+    topology=st.sampled_from(["daisychain", "ternary_tree", "star", "ddrx_like", "box"]),
+    scale=st.sampled_from(["small", "big"]),
+    mechanism=st.sampled_from(["FP", "VWL", "ROO", "DVFS", "VWL+ROO", "DVFS+ROO"]),
+    policy=st.sampled_from(["none", "unaware", "aware", "static"]),
+    alpha=st.floats(min_value=0.0, max_value=0.5),
+    window_ns=st.floats(min_value=1.0, max_value=1e7),
+    seed=st.integers(min_value=0, max_value=2**31),
+    wake_ns=st.sampled_from([14.0, 20.0]),
+    mapping=st.sampled_from(["contiguous", "interleaved"]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=config_strategy)
+def test_config_roundtrip_property(config):
+    assert config_from_dict(config_to_dict(config)) == config
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    time_ns=st.floats(min_value=0, max_value=1e9),
+    address=st.integers(min_value=0, max_value=2**48),
+    is_read=st.booleans(),
+    stream=st.integers(min_value=0, max_value=1023),
+)
+def test_trace_record_roundtrip_property(time_ns, address, is_read, stream):
+    record = TraceRecord(time_ns, address, is_read, stream)
+    parsed = TraceRecord.from_line(record.to_line())
+    assert parsed.address == record.address
+    assert parsed.is_read == record.is_read
+    assert parsed.stream == record.stream
+    assert abs(parsed.time_ns - record.time_ns) <= 0.001

@@ -1,0 +1,158 @@
+"""Edge-case tests for link controllers: races between mode changes,
+wakeups, transmissions, and epoch boundaries."""
+
+import pytest
+
+from repro.core.mechanisms import LinkModeState, make_mechanism
+from repro.network.links import LinkController, LinkDir
+from repro.network.packets import Packet, PacketKind
+from repro.power.accounting import EnergyLedger
+from repro.sim import Simulator
+
+
+def make_link(mech_name="VWL+ROO"):
+    sim = Simulator()
+    delivered = []
+    link = LinkController(
+        sim, "edge", LinkDir.REQUEST, -1, 0, make_mechanism(mech_name),
+        0.58625, EnergyLedger(), EnergyLedger(),
+    )
+    link.deliver = lambda pkt, now: delivered.append((pkt, now))
+    link.start(0.0)
+    return sim, link, delivered
+
+
+def packet(kind=PacketKind.READ_RESP):
+    return Packet(kind=kind, address=0, dest=0)
+
+
+class TestModeChangeRaces:
+    def test_mode_change_during_transmission(self):
+        sim, link, delivered = make_link()
+        sim.schedule(0.0, lambda: link.enqueue(packet(), sim.now))
+        # Narrow the link while the packet serializes.
+        sim.schedule(1.0, lambda: link.set_mode(LinkModeState(3, 0), sim.now))
+        sim.run()
+        assert len(delivered) == 1  # in-flight packet still completes
+
+    def test_repeated_mode_changes_are_stable(self):
+        sim, link, delivered = make_link()
+        for i, width in enumerate((1, 2, 3, 0, 2)):
+            sim.schedule(
+                i * 10.0,
+                lambda w=width: link.set_mode(LinkModeState(w, 0), sim.now),
+            )
+        sim.schedule(5000.0, lambda: link.enqueue(packet(), sim.now))
+        sim.run()
+        assert len(delivered) == 1
+        assert link.width_idx == 2
+
+    def test_same_mode_is_noop(self):
+        sim, link, _ = make_link()
+        link.set_mode(LinkModeState(0, 0), 0.0)
+        # No transition window should be armed.
+        assert link._trans_until == 0.0
+
+
+class TestWakeRaces:
+    def test_packet_arriving_during_wake_waits_once(self):
+        sim, link, delivered = make_link("ROO")
+        link.set_mode(LinkModeState(0, 3), 0.0)
+        sim.run(until=1000.0)
+        assert link.is_off
+        # Two packets arrive 5 ns apart during the same wake.
+        sim.schedule_at(1000.0, lambda: link.enqueue(packet(), sim.now))
+        sim.schedule_at(1005.0, lambda: link.enqueue(packet(), sim.now))
+        sim.run()
+        assert link.wakeups == 1
+        assert len(delivered) == 2
+
+    def test_proactive_wake_then_packet(self):
+        sim, link, delivered = make_link("ROO")
+        link.set_mode(LinkModeState(0, 3), 0.0)
+        sim.run(until=500.0)
+        link.wake_proactively(500.0)
+        assert not link.is_off
+        sim.schedule_at(520.0, lambda: link.enqueue(packet(), sim.now))
+        sim.run()
+        # Wake completed at 514; no extra wakeup charged.
+        assert link.wakeups == 1
+        assert delivered[0][1] == pytest.approx(520.0 + 5 * 0.64 + 3.2)
+
+    def test_wake_proactively_when_on_is_noop(self):
+        sim, link, _ = make_link("ROO")
+        link.wake_proactively(0.0)
+        assert link.wakeups == 0
+
+    def test_sleep_rearmed_after_mode_change_to_shorter_threshold(self):
+        sim, link, _ = make_link("ROO")
+        # Full-power ROO mode: would sleep at 2048 ns.
+        sim.run(until=100.0)
+        assert not link.is_off
+        link.set_mode(LinkModeState(0, 3), sim.now)  # threshold 32 ns
+        sim.run(until=200.0)
+        assert link.is_off  # idle since t=0 > 32 ns already
+
+
+class TestEpochBoundaryRaces:
+    def test_reset_during_transmission_keeps_energy_consistent(self):
+        sim, link, _ = make_link()
+        sim.schedule(0.0, lambda: link.enqueue(packet(), sim.now))
+        sim.schedule(1.0, lambda: link.reset_epoch(sim.now))
+        sim.run()
+        link.accrue(sim.now)
+        total = (
+            link.ledger_src.idle_io_j + link.ledger_src.active_io_j
+            + link.ledger_dst.idle_io_j + link.ledger_dst.active_io_j
+        )
+        expected = 2 * 0.58625 * sim.now * 1e-9
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_reset_while_off_preserves_off_state(self):
+        sim, link, _ = make_link("ROO")
+        link.set_mode(LinkModeState(0, 3), 0.0)
+        sim.run(until=500.0)
+        assert link.is_off
+        link.reset_epoch(500.0)
+        assert link.is_off
+        sim.schedule_at(600.0, lambda: link.enqueue(packet(), sim.now))
+        sim.run()
+        assert link.packets_tx == 1
+
+    def test_counters_isolated_between_epochs(self):
+        sim, link, _ = make_link()
+        sim.schedule(0.0, lambda: link.enqueue(packet(), sim.now))
+        sim.run()
+        first_epoch_reads = link.ep_reads
+        link.reset_epoch(sim.now)
+        sim.schedule(10.0, lambda: link.enqueue(packet(), sim.now))
+        sim.schedule(12.0, lambda: link.enqueue(packet(), sim.now))
+        sim.run()
+        assert first_epoch_reads == 1
+        assert link.ep_reads == 2
+
+
+class TestQueueDiscipline:
+    def test_fifo_within_reads(self):
+        sim, link, delivered = make_link()
+        pkts = [packet() for _ in range(5)]
+
+        def inject():
+            for p in pkts:
+                link.enqueue(p, sim.now)
+
+        sim.schedule(0.0, inject)
+        sim.run()
+        assert [p.pkt_id for p, _ in delivered] == [p.pkt_id for p in pkts]
+
+    def test_fifo_within_writes(self):
+        sim, link, delivered = make_link()
+        pkts = [packet(PacketKind.WRITE_REQ) for _ in range(4)]
+
+        def inject():
+            for p in pkts:
+                link.enqueue(p, sim.now)
+
+        sim.schedule(0.0, inject)
+        sim.run()
+        assert [p.pkt_id for p, _ in delivered] == [p.pkt_id for p in pkts]

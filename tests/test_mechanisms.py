@@ -1,0 +1,136 @@
+"""Unit tests for the I/O power-control mechanism tables (Section IV)."""
+
+import pytest
+
+from repro.core.mechanisms import (
+    DVFS_MODES,
+    FLIT_TIME_FULL_NS,
+    FULL_LANES,
+    LinkModeState,
+    MECHANISM_NAMES,
+    ROO_FULL_POWER_THRESHOLD_NS,
+    ROO_THRESHOLDS_NS,
+    SERDES_FULL_NS,
+    VWL_MODES,
+    WidthMode,
+    make_mechanism,
+)
+
+
+class TestConstants:
+    def test_full_flit_time_is_064ns(self):
+        # 16 B over 16 lanes at 12.5 Gbps.
+        assert FLIT_TIME_FULL_NS == pytest.approx(0.64)
+
+    def test_serdes_latency(self):
+        assert SERDES_FULL_NS == pytest.approx(3.2)
+
+    def test_roo_thresholds(self):
+        assert ROO_THRESHOLDS_NS == (2048.0, 512.0, 128.0, 32.0)
+        assert ROO_FULL_POWER_THRESHOLD_NS == 2048.0
+
+
+class TestVwlModes:
+    def test_lane_counts(self):
+        assert [m.name for m in VWL_MODES] == [
+            "16-lane", "8-lane", "4-lane", "1-lane",
+        ]
+
+    def test_power_formula(self):
+        # Power with l lanes on is (l+1)/(16+1): clock costs one lane.
+        for mode, lanes in zip(VWL_MODES, (16, 8, 4, 1)):
+            assert mode.power_fraction == pytest.approx((lanes + 1) / 17)
+
+    def test_bandwidth_scales_with_lanes(self):
+        for mode, lanes in zip(VWL_MODES, (16, 8, 4, 1)):
+            assert mode.bw_fraction == pytest.approx(lanes / 16)
+
+    def test_serdes_unchanged(self):
+        # VWL does not touch the I/O clock, so SERDES latency is fixed.
+        assert all(m.serdes_ns == SERDES_FULL_NS for m in VWL_MODES)
+
+    def test_flit_time_scales_inversely(self):
+        assert VWL_MODES[1].flit_time_ns() == pytest.approx(2 * FLIT_TIME_FULL_NS)
+        assert VWL_MODES[3].flit_time_ns() == pytest.approx(16 * FLIT_TIME_FULL_NS)
+
+
+class TestDvfsModes:
+    def test_bandwidth_points(self):
+        assert [m.bw_fraction for m in DVFS_MODES] == [1.0, 0.8, 0.5, 0.14]
+
+    def test_power_reductions(self):
+        # Section IV-B: 0/30/65/92 % power reduction.
+        assert [round(1 - m.power_fraction, 2) for m in DVFS_MODES] == [
+            0.0, 0.30, 0.65, 0.92,
+        ]
+
+    def test_serdes_stretches_with_frequency(self):
+        # DVFS slows the I/O clock that also clocks the SERDES.
+        for mode in DVFS_MODES:
+            assert mode.serdes_ns == pytest.approx(SERDES_FULL_NS / mode.bw_fraction)
+
+    def test_dvfs_saves_more_than_vwl_at_same_bandwidth(self):
+        # At 50 % bandwidth: DVFS also cuts energy per bit.
+        vwl_8 = VWL_MODES[1]
+        dvfs_50 = DVFS_MODES[2]
+        assert dvfs_50.power_fraction < vwl_8.power_fraction
+
+
+class TestWidthModeValidation:
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            WidthMode("bad", 0.0, 0.5, 3.2)
+
+    def test_over_unity_power_rejected(self):
+        with pytest.raises(ValueError):
+            WidthMode("bad", 0.5, 1.5, 3.2)
+
+
+class TestMakeMechanism:
+    def test_fp_has_no_control(self):
+        m = make_mechanism("FP")
+        assert not m.has_roo
+        assert not m.has_width_scaling
+        assert m.num_states() == 1
+
+    def test_vwl(self):
+        m = make_mechanism("VWL")
+        assert m.has_width_scaling and not m.has_roo
+        assert m.width_transition_ns == 1000.0
+
+    def test_roo(self):
+        m = make_mechanism("ROO")
+        assert m.has_roo and not m.has_width_scaling
+        assert m.wake_ns == 14.0
+        assert m.off_power_fraction == 0.01
+
+    def test_roo_sensitivity_wake(self):
+        assert make_mechanism("ROO", wake_ns=20.0).wake_ns == 20.0
+
+    def test_dvfs_transition_is_3us(self):
+        # Two 8-lane bundles scaled one at a time: up to 3 us total.
+        assert make_mechanism("DVFS").width_transition_ns == 3000.0
+
+    def test_combos(self):
+        m = make_mechanism("VWL+ROO")
+        assert m.has_roo and m.has_width_scaling
+        assert m.num_states() == 16
+
+    def test_case_insensitive(self):
+        assert make_mechanism("vwl+roo").name == "VWL+ROO"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_mechanism("MAGIC")
+
+    def test_all_names_constructible(self):
+        for name in MECHANISM_NAMES:
+            assert make_mechanism(name).name == name
+
+
+class TestLinkModeState:
+    def test_full_power_detection(self):
+        assert LinkModeState(0, 0).is_full_power()
+        assert LinkModeState(0, None).is_full_power()
+        assert not LinkModeState(1, 0).is_full_power()
+        assert not LinkModeState(0, 2).is_full_power()

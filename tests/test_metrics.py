@@ -1,0 +1,117 @@
+"""Unit tests for harness metrics."""
+
+import pytest
+
+from repro.core.mechanisms import make_mechanism
+from repro.harness.metrics import (
+    LinkHourCollector,
+    UTILIZATION_BUCKETS,
+    avg_link_utilization,
+    avg_modules_traversed,
+    bucket_of,
+    channel_utilization,
+    performance_degradation,
+)
+from repro.network import MemoryNetwork, build_topology
+from repro.sim import Simulator
+from repro.workloads.mapping import AddressMapping
+
+GB = 1024**3
+
+
+def quiet_network(n=2):
+    sim = Simulator()
+    topo = build_topology("daisychain", n)
+    mapping = AddressMapping(num_modules=n, granularity_bytes=4 * GB)
+    net = MemoryNetwork(sim, topo, make_mechanism("FP"), mapping)
+    net.start()
+    return sim, net
+
+
+class TestChannelUtilization:
+    def test_zero_without_traffic(self):
+        _sim, net = quiet_network()
+        assert channel_utilization(net, 1000.0) == 0.0
+
+    def test_counts_both_directions(self):
+        sim, net = quiet_network()
+        net.inject_read(0, 0.0)
+        sim.run()
+        # One read: 1 flit request + 5 flit response = 96 bytes.
+        util = channel_utilization(net, 1000.0)
+        assert util == pytest.approx(96 / (2 * 25.0 * 1000.0))
+
+    def test_zero_window(self):
+        _sim, net = quiet_network()
+        assert channel_utilization(net, 0.0) == 0.0
+
+
+class TestLinkUtilization:
+    def test_attenuation_below_channel(self):
+        sim, net = quiet_network(4)
+        for i in range(50):
+            net.inject_read(0, float(i) * 10)  # all traffic to module 0
+        sim.run()
+        window = sim.now
+        # Only 2 of 8 links carry traffic: average is low.
+        assert avg_link_utilization(net, window) < channel_utilization(net, window)
+
+
+class TestModulesTraversed:
+    def test_reads_traverse_twice(self):
+        sim, net = quiet_network(3)
+        net.inject_read(2 * 4 * GB, 0.0)
+        sim.run()
+        assert avg_modules_traversed(net) == pytest.approx(6.0)
+
+    def test_zero_without_traffic(self):
+        _sim, net = quiet_network()
+        assert avg_modules_traversed(net) == 0.0
+
+
+class TestBuckets:
+    def test_bucket_boundaries(self):
+        assert bucket_of(0.0) == "0-1%"
+        assert bucket_of(0.009) == "0-1%"
+        assert bucket_of(0.01) == "1-5%"
+        assert bucket_of(0.07) == "5-10%"
+        assert bucket_of(0.15) == "10-20%"
+        assert bucket_of(0.5) == "20-100%"
+        assert bucket_of(1.0) == "20-100%"
+
+    def test_buckets_cover_unit_interval(self):
+        lows = [lo for _l, lo, _h in UTILIZATION_BUCKETS]
+        highs = [hi for _l, _lo, hi in UTILIZATION_BUCKETS]
+        assert lows[0] == 0.0
+        assert highs[-1] > 1.0
+        for h, l in zip(highs, lows[1:]):
+            assert h == l
+
+
+class TestLinkHourCollector:
+    def test_accumulates_epoch_times(self):
+        sim, net = quiet_network()
+        collector = LinkHourCollector()
+        sim.run(until=10_000.0)
+        for link in net.all_links():
+            link.accrue(10_000.0)
+        collector(net.all_links(), 10_000.0)
+        fractions = collector.fractions()
+        assert fractions
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        # All links idle at full width: everything in ("0-1%", 0).
+        assert fractions[("0-1%", 0)] == pytest.approx(1.0)
+
+    def test_empty_collector(self):
+        assert LinkHourCollector().fractions() == {}
+
+
+class TestDegradation:
+    def test_positive_when_slower(self):
+        assert performance_degradation(100.0, 95.0) == pytest.approx(0.05)
+
+    def test_zero_baseline(self):
+        assert performance_degradation(0.0, 50.0) == 0.0
+
+    def test_negative_when_faster(self):
+        assert performance_degradation(100.0, 101.0) == pytest.approx(-0.01)

@@ -1,0 +1,58 @@
+"""Tests for the multi-channel extension."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.multichannel import MultiChannelResult, run_multichannel
+
+FAST = dict(window_ns=60_000.0, epoch_ns=15_000.0)
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = ExperimentConfig(workload="sp.D", topology="star", **FAST)
+    return run_multichannel(cfg, channels=3)
+
+
+class TestRunMultichannel:
+    def test_channel_count(self, result):
+        assert result.num_channels == 3
+        assert len(result.channels) == 3
+
+    def test_totals_are_sums(self, result):
+        assert result.total_network_power_w == pytest.approx(
+            sum(c.network_power_w for c in result.channels)
+        )
+        assert result.total_throughput_per_s == pytest.approx(
+            sum(c.throughput_per_s for c in result.channels)
+        )
+        assert result.total_modules == sum(c.num_modules for c in result.channels)
+
+    def test_channels_use_distinct_seeds(self, result):
+        seeds = {c.config.seed for c in result.channels}
+        assert len(seeds) == 3
+
+    def test_channels_statistically_similar(self, result):
+        # The paper's single-channel methodology relies on channels
+        # looking alike; the spread across seeds should be small.
+        assert result.channel_power_spread() < 0.10
+
+    def test_avg_power_per_hmc_matches_single_channel_scale(self, result):
+        per_hmc = result.avg_power_per_hmc_w
+        singles = [c.power_per_hmc_w for c in result.channels]
+        assert min(singles) <= per_hmc <= max(singles)
+
+    def test_idle_io_fraction_bounded(self, result):
+        assert 0.0 < result.idle_io_fraction < 1.0
+
+    def test_invalid_channel_count(self):
+        cfg = ExperimentConfig(workload="sp.D", **FAST)
+        with pytest.raises(ValueError):
+            run_multichannel(cfg, channels=0)
+
+
+class TestAggregationEdgeCases:
+    def test_empty_modules_guard(self):
+        empty = MultiChannelResult(channels=[])
+        assert empty.avg_power_per_hmc_w == 0.0
+        assert empty.idle_io_fraction == 0.0

@@ -1,0 +1,106 @@
+"""End-to-end coverage for less-traveled configurations: the box
+topology, page-interleaved mapping, and zero-alpha management."""
+
+import pytest
+
+from repro.core.mechanisms import make_mechanism
+from repro.core.unaware import NetworkUnawarePolicy
+from repro.network import MemoryNetwork, build_topology
+from repro.sim import Simulator
+from repro.workloads.mapping import AddressMapping
+
+GB = 1024**3
+
+
+class TestBoxTopology:
+    def test_reads_complete_across_rings(self):
+        sim = Simulator()
+        topo = build_topology("box", 10)
+        mapping = AddressMapping(num_modules=10, granularity_bytes=GB)
+        net = MemoryNetwork(sim, topo, make_mechanism("FP"), mapping)
+        net.start()
+        for module in range(10):
+            net.inject_read(module * GB, float(module) * 50)
+        sim.run()
+        assert net.completed_reads == 10
+
+    def test_box_is_shallower_than_daisychain(self):
+        box = build_topology("box", 12)
+        chain = build_topology("daisychain", 12)
+        assert box.max_depth < chain.max_depth
+
+
+class TestInterleavedMapping:
+    def make(self):
+        sim = Simulator()
+        n = 4
+        topo = build_topology("star", n)
+        mapping = AddressMapping(
+            num_modules=n, granularity_bytes=4096, interleaved=True
+        )
+        net = MemoryNetwork(sim, topo, make_mechanism("FP"), mapping)
+        net.start()
+        return sim, net
+
+    def test_consecutive_pages_hit_different_modules(self):
+        sim, net = self.make()
+        for page in range(8):
+            net.inject_read(page * 4096, float(page) * 30)
+        sim.run()
+        reads = [m.dram_reads for m in net.modules]
+        assert reads == [2, 2, 2, 2]
+
+    def test_interleaving_spreads_traffic_evenly(self):
+        import random
+
+        sim, net = self.make()
+        rng = random.Random(11)
+        for i in range(200):
+            net.inject_read(rng.randrange(0, 64 * GB, 64), float(i) * 10)
+        sim.run()
+        reads = [m.dram_reads for m in net.modules]
+        assert max(reads) - min(reads) < 0.5 * max(reads)
+
+
+class TestZeroAlpha:
+    def test_zero_alpha_keeps_links_at_or_near_full_power(self):
+        sim = Simulator()
+        topo = build_topology("daisychain", 2)
+        mapping = AddressMapping(num_modules=2, granularity_bytes=GB)
+        net = MemoryNetwork(sim, topo, make_mechanism("VWL"), mapping)
+        policy = NetworkUnawarePolicy(net, alpha=0.0, epoch_ns=5_000.0)
+        net.start()
+        policy.start()
+        # Traffic flows through the whole window so the channel link is
+        # never legitimately idle when modes are selected.
+        for i in range(1600):
+            net.inject_read((i % 64) * 64, float(i) * 20)
+        sim.run(until=28_000.0)
+        # The busy channel link cannot afford any slowdown at alpha=0.
+        assert net.channel_req.width_idx == 0
+        assert net.channel_resp.width_idx == 0
+
+    def test_negative_alpha_rejected(self):
+        sim = Simulator()
+        topo = build_topology("daisychain", 2)
+        mapping = AddressMapping(num_modules=2, granularity_bytes=GB)
+        net = MemoryNetwork(sim, topo, make_mechanism("VWL"), mapping)
+        with pytest.raises(ValueError):
+            NetworkUnawarePolicy(net, alpha=-0.01)
+
+
+class TestChannelOnlyNetwork:
+    def test_single_module_star_equals_daisychain(self):
+        def run(name):
+            sim = Simulator()
+            topo = build_topology(name, 1)
+            mapping = AddressMapping(num_modules=1, granularity_bytes=GB)
+            net = MemoryNetwork(sim, topo, make_mechanism("FP"), mapping)
+            net.start()
+            net.inject_read(0, 0.0)
+            sim.run()
+            return net.avg_read_latency_ns
+
+        # With one module every topology degenerates to the same link.
+        assert run("star") == pytest.approx(run("daisychain"))
+        assert run("box") == pytest.approx(run("ternary_tree"))

@@ -1,0 +1,66 @@
+"""Unit tests for packet and flit definitions."""
+
+import pytest
+
+from repro.network.packets import (
+    FLIT_BYTES,
+    LINE_BYTES,
+    Packet,
+    PacketKind,
+    flits_for,
+)
+
+
+class TestFlitCounts:
+    def test_flit_is_16_bytes(self):
+        assert FLIT_BYTES == 16
+
+    def test_line_is_64_bytes(self):
+        assert LINE_BYTES == 64
+
+    def test_read_request_is_single_flit(self):
+        # Section II-B: a read request packet is one 16 B flit.
+        assert flits_for(PacketKind.READ_REQ) == 1
+
+    def test_write_request_is_five_flits(self):
+        # Header plus a 64 B line.
+        assert flits_for(PacketKind.WRITE_REQ) == 5
+
+    def test_read_response_is_five_flits(self):
+        assert flits_for(PacketKind.READ_RESP) == 5
+
+    def test_response_is_5x_request(self):
+        # The amplification the paper's request-link ROO penalty models.
+        assert flits_for(PacketKind.READ_RESP) == 5 * flits_for(PacketKind.READ_REQ)
+
+
+class TestPacketKind:
+    def test_read_req_is_read_and_request(self):
+        assert PacketKind.READ_REQ.is_read
+        assert PacketKind.READ_REQ.is_request
+
+    def test_write_req_is_request_not_read(self):
+        assert not PacketKind.WRITE_REQ.is_read
+        assert PacketKind.WRITE_REQ.is_request
+
+    def test_read_resp_is_read_not_request(self):
+        assert PacketKind.READ_RESP.is_read
+        assert not PacketKind.READ_RESP.is_request
+
+
+class TestPacket:
+    def test_bytes_matches_flits(self):
+        pkt = Packet(kind=PacketKind.READ_RESP, address=0x1000, dest=2)
+        assert pkt.bytes == 5 * FLIT_BYTES
+        assert pkt.flits == 5
+
+    def test_packet_ids_unique(self):
+        a = Packet(kind=PacketKind.READ_REQ, address=0, dest=0)
+        b = Packet(kind=PacketKind.READ_REQ, address=0, dest=0)
+        assert a.pkt_id != b.pkt_id
+
+    def test_defaults(self):
+        pkt = Packet(kind=PacketKind.READ_REQ, address=64, dest=1)
+        assert pkt.src == -1  # processor
+        assert pkt.issue_time == 0.0
+        assert pkt.dram_start is None

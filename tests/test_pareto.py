@@ -1,0 +1,90 @@
+"""Tests for alpha sweeps and Pareto analysis."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.pareto import (
+    TradeoffPoint,
+    alpha_for_degradation,
+    pareto_frontier,
+    sweep_alpha,
+)
+from repro.harness.sweep import SweepRunner
+
+
+class TestTradeoffPoint:
+    def test_domination(self):
+        better = TradeoffPoint(0.05, power_saved=0.3, degradation=0.01)
+        worse = TradeoffPoint(0.025, power_saved=0.2, degradation=0.02)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_equal_points_do_not_dominate(self):
+        a = TradeoffPoint(0.05, 0.3, 0.01)
+        b = TradeoffPoint(0.10, 0.3, 0.01)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_incomparable_points(self):
+        cheap = TradeoffPoint(0.025, power_saved=0.1, degradation=0.001)
+        aggressive = TradeoffPoint(0.30, power_saved=0.4, degradation=0.05)
+        assert not cheap.dominates(aggressive)
+        assert not aggressive.dominates(cheap)
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            TradeoffPoint(0.025, 0.10, 0.005),
+            TradeoffPoint(0.05, 0.30, 0.010),
+            TradeoffPoint(0.10, 0.25, 0.020),  # dominated by the 0.05 point
+        ]
+        frontier = pareto_frontier(points)
+        assert len(frontier) == 2
+        assert all(p.alpha != 0.10 for p in frontier)
+
+    def test_sorted_by_degradation(self):
+        points = [
+            TradeoffPoint(0.30, 0.5, 0.05),
+            TradeoffPoint(0.025, 0.1, 0.001),
+        ]
+        frontier = pareto_frontier(points)
+        assert frontier[0].alpha == 0.025
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+
+class TestAlphaForDegradation:
+    POINTS = [
+        TradeoffPoint(0.025, 0.10, 0.004),
+        TradeoffPoint(0.05, 0.20, 0.012),
+        TradeoffPoint(0.30, 0.45, 0.08),
+    ]
+
+    def test_picks_most_savings_within_budget(self):
+        point = alpha_for_degradation(self.POINTS, 0.02)
+        assert point is not None and point.alpha == 0.05
+
+    def test_none_when_infeasible(self):
+        assert alpha_for_degradation(self.POINTS, 0.001) is None
+
+    def test_large_budget_takes_everything(self):
+        point = alpha_for_degradation(self.POINTS, 1.0)
+        assert point.alpha == 0.30
+
+
+class TestSweepIntegration:
+    def test_sweep_monotone_savings(self):
+        runner = SweepRunner()
+        cfg = ExperimentConfig(
+            workload="cg.D", topology="star", scale="big",
+            mechanism="VWL+ROO", policy="aware",
+            window_ns=150_000.0, epoch_ns=25_000.0,
+        )
+        points = sweep_alpha(runner, cfg, alphas=(0.025, 0.30))
+        assert len(points) == 2
+        # A 12x larger budget cannot save (meaningfully) less power.
+        assert points[1].power_saved >= points[0].power_saved - 0.03
+        for point in points:
+            assert -0.05 < point.degradation < 0.40

@@ -1,0 +1,241 @@
+"""Tests for the management policies (Sections V and VI)."""
+
+import pytest
+
+from repro.core.aware import NetworkAwarePolicy
+from repro.core.mechanisms import LinkModeState, make_mechanism
+from repro.core.policy import ordered_candidates, select_lowest_power_mode
+from repro.core.unaware import NetworkUnawarePolicy
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.network import MemoryNetwork, build_topology
+from repro.network.links import LinkDir
+from repro.sim import Simulator
+from repro.workloads import ClosedLoopWorkload, contiguous_mapping, get_profile
+
+GB = 1024**3
+
+
+def build_sim(workload="lu.D", topology="daisychain", mechanism="VWL", scale="small"):
+    profile = get_profile(workload)
+    mapping = contiguous_mapping(profile.footprint_gb, scale)
+    sim = Simulator()
+    topo = build_topology(topology, mapping.num_modules)
+    net = MemoryNetwork(sim, topo, make_mechanism(mechanism), mapping)
+    wl = ClosedLoopWorkload(net, profile, stop_ns=1e9, seed=1)
+    return sim, net, wl
+
+
+class TestModeSelection:
+    def test_candidates_sorted_high_to_low_power(self):
+        sim, net, _wl = build_sim(mechanism="VWL+ROO")
+        link = net.modules[0].req_in
+        net.start()
+        sim.run(until=1000.0)
+        cands = ordered_candidates(link, 100_000.0)
+        powers = [p for _s, p, _f in cands]
+        assert powers == sorted(powers, reverse=True)
+        assert cands[0][0] == LinkModeState(0, 0)
+
+    def test_restrict_roo_lowest(self):
+        sim, net, _wl = build_sim(mechanism="VWL+ROO")
+        link = net.modules[0].resp_out
+        cands = ordered_candidates(link, 100_000.0, restrict_roo_lowest=True)
+        assert len(cands) == 4  # width modes only
+        assert all(s.roo_index == 3 for s, _p, _f in cands)
+
+    def test_select_lowest_power_within_budget(self):
+        cands = [
+            (LinkModeState(0, None), 1.0, 0.0),
+            (LinkModeState(1, None), 0.5, 100.0),
+            (LinkModeState(2, None), 0.3, 500.0),
+        ]
+        state, flo = select_lowest_power_mode(cands, ams=200.0)
+        assert state.width_index == 1 and flo == 100.0
+
+    def test_select_falls_back_to_full_power(self):
+        cands = [
+            (LinkModeState(0, None), 1.0, 0.0),
+            (LinkModeState(1, None), 0.5, 100.0),
+        ]
+        state, _flo = select_lowest_power_mode(cands, ams=-5.0)
+        assert state.width_index == 0
+
+    def test_zero_flo_always_selectable_at_zero_budget(self):
+        cands = [
+            (LinkModeState(0, None), 1.0, 0.0),
+            (LinkModeState(3, None), 0.1, 0.0),
+        ]
+        state, _ = select_lowest_power_mode(cands, ams=0.0)
+        assert state.width_index == 3
+
+
+class TestUnawarePolicy:
+    def test_idle_links_reach_lowest_mode(self):
+        # Module 2 of lu.D's 3-module network is nearly cold; its links
+        # should descend to narrow widths after a few epochs.
+        sim, net, wl = build_sim("cg.D", mechanism="VWL", scale="big")
+        policy = NetworkUnawarePolicy(net, alpha=0.05, epoch_ns=10_000.0)
+        net.start()
+        policy.start()
+        wl.start()
+        sim.run(until=100_000.0)
+        cold = net.modules[-1]
+        assert cold.req_in.width_idx > 0
+
+    def test_busy_channel_link_stays_wide(self):
+        sim, net, wl = build_sim("mixB", mechanism="VWL")
+        policy = NetworkUnawarePolicy(net, alpha=0.025, epoch_ns=10_000.0)
+        net.start()
+        policy.start()
+        wl.start()
+        sim.run(until=100_000.0)
+        # The channel response link carries ~75 % utilization: wide.
+        assert net.channel_resp.width_idx <= 1
+
+    def test_epochs_advance(self):
+        sim, net, wl = build_sim()
+        policy = NetworkUnawarePolicy(net, alpha=0.05, epoch_ns=10_000.0)
+        net.start()
+        policy.start()
+        wl.start()
+        sim.run(until=55_000.0)
+        assert policy.epochs_run == 5
+
+    def test_response_wake_mode_is_module(self):
+        sim, net, wl = build_sim(mechanism="ROO")
+        policy = NetworkUnawarePolicy(net, alpha=0.05)
+        net.start()
+        policy.start()
+        assert net.response_wake_mode == "module"
+        assert not net.aware_sleep_gating
+
+    def test_alpha_validation(self):
+        sim, net, _ = build_sim()
+        with pytest.raises(ValueError):
+            NetworkUnawarePolicy(net, alpha=-0.1)
+
+    def test_violation_forces_full_power(self):
+        sim, net, wl = build_sim("mixB", mechanism="VWL")
+        policy = NetworkUnawarePolicy(net, alpha=0.05, epoch_ns=10_000.0)
+        net.start()
+        policy.start()
+        wl.start()
+        link = net.channel_resp
+        sim.run(until=15_000.0)
+        # Force an artificial tiny budget mid-epoch: next read trips it.
+        link.ams = -1.0
+        link.violated = False
+        sim.run(until=25_000.0)
+        assert policy.violations >= 1
+
+
+class TestAwarePolicy:
+    def run_policy(self, workload="cg.D", mechanism="VWL", alpha=0.05,
+                   topology="daisychain", scale="big", until=100_000.0):
+        sim, net, wl = build_sim(workload, topology, mechanism, scale)
+        policy = NetworkAwarePolicy(net, alpha=alpha, epoch_ns=10_000.0)
+        net.start()
+        policy.start()
+        wl.start()
+        sim.run(until=until)
+        return sim, net, wl, policy
+
+    def test_hooks_configured(self):
+        sim, net, wl = build_sim(mechanism="ROO")
+        policy = NetworkAwarePolicy(net, alpha=0.05)
+        net.start()
+        policy.start()
+        assert net.response_wake_mode == "path"
+        assert net.aware_sleep_gating
+
+    def test_monotone_power_along_chains(self):
+        _sim, net, _wl, _policy = self.run_policy()
+        topo = net.topology
+        for direction in (LinkDir.REQUEST, LinkDir.RESPONSE):
+            for m in range(topo.num_modules):
+                for c in topo.children[m]:
+                    up = net.modules[m].req_in if direction is LinkDir.REQUEST else net.modules[m].resp_out
+                    down = net.modules[c].req_in if direction is LinkDir.REQUEST else net.modules[c].resp_out
+                    if up.violated or down.violated:
+                        continue
+                    assert up.isp_sel.width_index <= down.isp_sel.width_index
+
+    def test_saves_more_power_than_unaware(self):
+        def network_energy(policy_cls):
+            sim, net, wl = build_sim("cg.D", "daisychain", "VWL", "big")
+            policy = policy_cls(net, alpha=0.05, epoch_ns=10_000.0)
+            net.start()
+            policy.start()
+            wl.start()
+            sim.run(until=150_000.0)
+            net.finalize(150_000.0)
+            return sum(m.ledger.total_j for m in net.modules)
+
+        aware = network_energy(NetworkAwarePolicy)
+        unaware = network_energy(NetworkUnawarePolicy)
+        assert aware < unaware
+
+    def test_roo_only_response_links_not_src(self):
+        _sim, net, _wl, policy = self.run_policy(mechanism="ROO")
+        assert policy._roo_only
+        for m in net.modules:
+            assert not m.resp_out.isp_src
+
+    def test_roo_only_response_links_sleep_aggressively(self):
+        _sim, net, _wl, _policy = self.run_policy(mechanism="ROO")
+        for m in net.modules:
+            sel = m.resp_out.isp_sel
+            assert sel.roo_index == 3  # 32 ns threshold
+
+    def test_grant_pool_caps_per_link(self):
+        sim, net, wl, policy = self.run_policy()
+        link = net.channel_resp
+        policy._grant_pool = 1000.0
+        policy._grant_unit = 100.0
+        link.grants_used = 0
+        before = link.ams
+        for _ in range(NetworkAwarePolicy.MAX_GRANTS_PER_LINK):
+            policy._on_violation(link)
+        assert link.ams == pytest.approx(before + 400.0)
+        assert not link.violated
+        policy._on_violation(link)  # fifth request: denied
+        assert link.violated
+
+    def test_grant_pool_depletes(self):
+        sim, net, wl, policy = self.run_policy()
+        link = net.channel_resp
+        link.violated = False
+        link.grants_used = 0
+        policy._grant_pool = 50.0
+        policy._grant_unit = 100.0
+        policy._on_violation(link)
+        assert policy._grant_pool == 0.0
+        policy._on_violation(link)
+        assert link.violated
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("mechanism", ["VWL", "ROO", "VWL+ROO", "DVFS"])
+    def test_policies_save_power_with_bounded_degradation(self, mechanism):
+        base = dict(
+            workload="cg.D", topology="star", scale="big",
+            window_ns=200_000.0, epoch_ns=20_000.0,
+        )
+        fp = run_experiment(ExperimentConfig(mechanism="FP", policy="none", **base))
+        for policy in ("unaware", "aware"):
+            res = run_experiment(
+                ExperimentConfig(mechanism=mechanism, policy=policy, alpha=0.05, **base)
+            )
+            assert res.network_power_w < fp.network_power_w
+            deg = 1 - res.throughput_per_s / fp.throughput_per_s
+            assert deg < 0.12, f"{mechanism}/{policy} degraded {deg:.1%}"
+
+    def test_aware_beats_unaware_on_average(self):
+        base = dict(
+            workload="is.D", topology="ddrx_like", scale="big",
+            window_ns=200_000.0, epoch_ns=20_000.0, mechanism="VWL+ROO",
+            alpha=0.05,
+        )
+        aware = run_experiment(ExperimentConfig(policy="aware", **base))
+        unaware = run_experiment(ExperimentConfig(policy="unaware", **base))
+        assert aware.network_power_w < unaware.network_power_w

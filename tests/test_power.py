@@ -1,0 +1,117 @@
+"""Unit tests for the HMC power model and energy accounting."""
+
+import pytest
+
+from repro.network.topology import Radix
+from repro.power import (
+    DEFAULT_POWER_MODEL,
+    EnergyLedger,
+    HmcPowerModel,
+    PowerBreakdown,
+)
+
+
+class TestHmcPowerModel:
+    def test_high_radix_peak(self):
+        # Pugsley et al.: 13.4 W peak at 12.5 Gbps lanes.
+        assert DEFAULT_POWER_MODEL.peak_w(Radix.HIGH) == pytest.approx(13.4)
+
+    def test_low_radix_is_half_peak(self):
+        assert DEFAULT_POWER_MODEL.peak_w(Radix.LOW) == pytest.approx(6.7)
+
+    def test_breakdown_fractions(self):
+        m = DEFAULT_POWER_MODEL
+        assert m.dram_peak_w(Radix.HIGH) == pytest.approx(13.4 * 0.43)
+        assert m.logic_peak_w(Radix.HIGH) == pytest.approx(13.4 * 0.22)
+        assert m.io_peak_w(Radix.HIGH) == pytest.approx(13.4 * 0.35)
+
+    def test_idle_fractions(self):
+        m = DEFAULT_POWER_MODEL
+        # DRAM idles at 10 % of its peak, logic at 25 %.
+        assert m.dram_leakage_w(Radix.HIGH) == pytest.approx(13.4 * 0.43 * 0.10)
+        assert m.logic_leakage_w(Radix.HIGH) == pytest.approx(13.4 * 0.22 * 0.25)
+
+    def test_link_endpoint_power_radix_independent(self):
+        m = DEFAULT_POWER_MODEL
+        high = m.link_endpoint_w(Radix.HIGH)
+        low = m.link_endpoint_w(Radix.LOW)
+        assert high == pytest.approx(low)
+        # 13.4 * 0.35 / 8 endpoints = 0.586 W.
+        assert high == pytest.approx(0.58625)
+
+    def test_peak_io_consistency(self):
+        # All endpoints at full power reconstruct the module's I/O peak.
+        m = DEFAULT_POWER_MODEL
+        for radix in (Radix.HIGH, Radix.LOW):
+            total = m.link_endpoint_w(radix) * radix.full_links * 2
+            assert total == pytest.approx(m.io_peak_w(radix))
+
+    def test_dram_energy_per_access_radix_independent(self):
+        m = DEFAULT_POWER_MODEL
+        assert m.dram_energy_per_access_j(Radix.HIGH) == pytest.approx(
+            m.dram_energy_per_access_j(Radix.LOW)
+        )
+        # ~1.3 nJ per 64 B access with the default parameters.
+        assert m.dram_energy_per_access_j(Radix.HIGH) == pytest.approx(
+            1.297e-9, rel=1e-2
+        )
+
+    def test_logic_energy_per_flit_radix_independent(self):
+        m = DEFAULT_POWER_MODEL
+        assert m.logic_energy_per_flit_j(Radix.HIGH) == pytest.approx(
+            m.logic_energy_per_flit_j(Radix.LOW)
+        )
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            HmcPowerModel(dram_fraction=0.5, logic_fraction=0.5, io_fraction=0.5)
+
+
+class TestEnergyLedger:
+    def test_totals(self):
+        ledger = EnergyLedger(
+            idle_io_j=1.0,
+            active_io_j=2.0,
+            logic_leak_j=0.5,
+            logic_dyn_j=0.25,
+            dram_leak_j=0.125,
+            dram_dyn_j=0.0625,
+        )
+        assert ledger.io_j == pytest.approx(3.0)
+        assert ledger.total_j == pytest.approx(3.9375)
+
+    def test_add_accumulates(self):
+        a = EnergyLedger(idle_io_j=1.0)
+        b = EnergyLedger(idle_io_j=2.0, dram_dyn_j=3.0)
+        a.add(b)
+        assert a.idle_io_j == 3.0
+        assert a.dram_dyn_j == 3.0
+
+
+class TestPowerBreakdown:
+    def test_from_ledgers_averages_per_module(self):
+        ledgers = [EnergyLedger(idle_io_j=2.0), EnergyLedger(idle_io_j=4.0)]
+        # 6 J over 2 modules and 1 second -> 3 W per module.
+        bd = PowerBreakdown.from_ledgers(ledgers, window_ns=1e9, num_modules=2)
+        assert bd.watts["idle_io"] == pytest.approx(3.0)
+        assert bd.total_w == pytest.approx(3.0)
+
+    def test_idle_io_fraction(self):
+        bd = PowerBreakdown(watts={
+            "idle_io": 1.0, "active_io": 0.5, "logic_leak": 0.25,
+            "logic_dyn": 0.0, "dram_leak": 0.25, "dram_dyn": 0.0,
+        })
+        assert bd.idle_io_fraction == pytest.approx(0.5)
+        assert bd.io_fraction == pytest.approx(0.75)
+
+    def test_row_order_matches_categories(self):
+        bd = PowerBreakdown.from_ledgers([EnergyLedger()], 1e6, 1)
+        assert len(bd.as_row()) == len(PowerBreakdown.categories()) == 6
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            PowerBreakdown.from_ledgers([], 0.0, 1)
+
+    def test_zero_modules_rejected(self):
+        with pytest.raises(ValueError):
+            PowerBreakdown.from_ledgers([], 1e6, 0)

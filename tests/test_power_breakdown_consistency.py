@@ -1,0 +1,65 @@
+"""Cross-cutting consistency: simulated power obeys structural bounds."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.network.topology import build_topology
+from repro.power.hmc_power import DEFAULT_POWER_MODEL
+
+FAST = dict(window_ns=60_000.0, epoch_ns=15_000.0)
+
+
+@pytest.fixture(scope="module")
+def fp_result():
+    return run_experiment(ExperimentConfig(workload="lu.D", topology="star", **FAST))
+
+
+class TestStructuralBounds:
+    def test_io_power_bounded_by_connected_links(self, fp_result):
+        # Per HMC: exactly one connectivity link pair = 4 endpoints at
+        # 0.586 W each when always on at full width.
+        per_hmc_io_max = 4 * DEFAULT_POWER_MODEL.link_endpoint_w()
+        assert fp_result.io_power_w <= per_hmc_io_max * 1.001
+
+    def test_io_power_at_least_off_floor(self, fp_result):
+        per_hmc_io_min = 4 * DEFAULT_POWER_MODEL.link_endpoint_w() * 0.01
+        assert fp_result.io_power_w >= per_hmc_io_min
+
+    def test_fp_network_io_equals_full_on(self, fp_result):
+        # Full-power networks never modulate links: I/O power equals the
+        # always-on constant exactly.
+        expected = 4 * DEFAULT_POWER_MODEL.link_endpoint_w()
+        assert fp_result.io_power_w == pytest.approx(expected, rel=1e-6)
+
+    def test_leakage_matches_topology(self, fp_result):
+        topo = build_topology("star", fp_result.num_modules)
+        dram_leak = sum(
+            DEFAULT_POWER_MODEL.dram_leakage_w(r) for r in topo.radix
+        ) / topo.num_modules
+        logic_leak = sum(
+            DEFAULT_POWER_MODEL.logic_leakage_w(r) for r in topo.radix
+        ) / topo.num_modules
+        assert fp_result.breakdown.watts["dram_leak"] == pytest.approx(dram_leak)
+        assert fp_result.breakdown.watts["logic_leak"] == pytest.approx(logic_leak)
+
+    def test_dynamic_power_scales_with_traffic(self):
+        low = run_experiment(ExperimentConfig(workload="sp.D", **FAST))
+        high = run_experiment(ExperimentConfig(workload="mixB", **FAST))
+        assert high.breakdown.watts["dram_dyn"] > low.breakdown.watts["dram_dyn"]
+        assert high.breakdown.watts["active_io"] > low.breakdown.watts["active_io"]
+
+    def test_managed_power_never_exceeds_fp(self):
+        base = ExperimentConfig(workload="sp.D", **FAST)
+        fp = run_experiment(base)
+        managed = run_experiment(
+            base.replace(mechanism="VWL+ROO", policy="aware", alpha=0.05)
+        )
+        assert managed.network_power_w <= fp.network_power_w * 1.001
+
+    def test_idle_plus_active_io_conserved_under_fp(self, fp_result):
+        # Splitting I/O into idle/active must not create or lose energy.
+        total_io = (
+            fp_result.breakdown.watts["idle_io"]
+            + fp_result.breakdown.watts["active_io"]
+        )
+        assert total_io == pytest.approx(fp_result.io_power_w)

@@ -1,0 +1,123 @@
+"""System-level property tests: conservation and accounting invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mechanisms import make_mechanism
+from repro.network import MemoryNetwork, build_topology
+from repro.network.topology import TOPOLOGY_BUILDERS
+from repro.sim import Simulator
+from repro.workloads.mapping import AddressMapping
+
+GB = 1024**3
+
+
+def run_random_traffic(topology_name, n, mechanism, n_accesses, seed, gating=False):
+    sim = Simulator()
+    topo = build_topology(topology_name, n)
+    mapping = AddressMapping(num_modules=n, granularity_bytes=GB)
+    net = MemoryNetwork(sim, topo, make_mechanism(mechanism), mapping)
+    if mechanism != "FP":
+        net.response_wake_mode = "path" if gating else "module"
+        net.aware_sleep_gating = gating
+    net.start()
+    rng = random.Random(seed)
+    reads = writes = 0
+    t = 0.0
+    for _ in range(n_accesses):
+        t += rng.expovariate(1 / 30.0)
+        addr = rng.randrange(0, n * GB, 64)
+        if rng.random() < 0.7:
+            net.inject_read(addr, t)
+            reads += 1
+        else:
+            net.inject_write(addr, t)
+            writes += 1
+    sim.run()
+    return sim, net, reads, writes
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    name=st.sampled_from(sorted(TOPOLOGY_BUILDERS)),
+    n=st.integers(min_value=1, max_value=12),
+    mechanism=st.sampled_from(["FP", "VWL", "ROO", "VWL+ROO"]),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_packet_conservation(name, n, mechanism, seed):
+    """Every injected access completes; no packet is lost or duplicated."""
+    sim, net, reads, writes = run_random_traffic(name, n, mechanism, 120, seed)
+    assert net.completed_reads == reads
+    assert net.completed_writes == writes
+    assert all(m.outstanding_subtree_reads == 0 for m in net.modules)
+    # All link queues drained.
+    for link in net.all_links():
+        assert not link.read_q and not link.write_q
+        assert not link.transmitting
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    name=st.sampled_from(["daisychain", "star", "ternary_tree"]),
+    n=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_energy_bounded_by_full_power(name, n, seed):
+    """Accrued I/O energy never exceeds the all-links-full-power bound
+    and never falls below the all-links-off bound."""
+    sim, net, _r, _w = run_random_traffic(name, n, "ROO", 100, seed)
+    window = sim.now
+    net.finalize(window)
+    io_j = sum(m.ledger.idle_io_j + m.ledger.active_io_j for m in net.modules)
+    n_links = len(net.all_links())
+    upper = n_links * 2 * 0.58625 * window * 1e-9 * (1 + 1e-9)
+    lower = n_links * 2 * 0.58625 * 0.01 * window * 1e-9 * (1 - 1e-9)
+    assert lower <= io_j <= upper
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_fel_matches_ael_at_full_power(n, seed):
+    """With every link at full power, the delay-monitor estimate of
+    aggregate read latency matches the measurement on every link that
+    carried only reads (writes reorder behind reads in the real queue)."""
+    sim, net, _r, _w = run_random_traffic("daisychain", n, "FP", 150, seed)
+    for link in net.all_links():
+        if link.ep_reads and link.write_q is not None:
+            # FEL can differ when writes interleave (read priority);
+            # the estimate is then conservative (>= actual).
+            assert link.ep_vlat[0] >= link.ep_actual_read_lat - 1e-6
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=30))
+def test_determinism_across_identical_runs(seed):
+    """Identical seeds produce bit-identical simulations."""
+    def signature(s):
+        sim, net, _r, _w = run_random_traffic("star", 6, "VWL+ROO", 80, s)
+        return (
+            net.completed_reads,
+            round(net.sum_read_latency_ns, 6),
+            tuple(round(l.busy_time_ns, 6) for l in net.all_links()),
+        )
+
+    assert signature(seed) == signature(seed)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=30),
+)
+def test_sleep_gating_safe_under_load(n, seed):
+    """Aware sleep gating never deadlocks or loses packets."""
+    sim, net, reads, _w = run_random_traffic(
+        "daisychain", n, "ROO", 100, seed, gating=True
+    )
+    assert net.completed_reads == reads

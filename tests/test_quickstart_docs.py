@@ -1,0 +1,28 @@
+"""Executable documentation: the README quickstart snippet works."""
+
+import pytest
+
+from repro import ExperimentConfig, run_experiment
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        # Mirrors README.md's quickstart (scaled down for test speed).
+        base = ExperimentConfig(
+            workload="mixB", topology="star", scale="small",
+            window_ns=60_000.0, epoch_ns=15_000.0,
+        )
+        full_power = run_experiment(base)
+        managed = run_experiment(
+            base.replace(mechanism="VWL+ROO", policy="aware", alpha=0.05)
+        )
+        assert managed.power_per_hmc_w < full_power.power_per_hmc_w
+        assert managed.breakdown.watts["idle_io"] < full_power.breakdown.watts["idle_io"]
+        cost = 1 - managed.throughput_per_s / full_power.throughput_per_s
+        assert cost < 0.15
+
+    def test_package_docstring_example_fields(self):
+        import repro
+
+        assert "ExperimentConfig" in repro.__doc__
+        assert repro.__version__

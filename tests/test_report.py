@@ -1,0 +1,49 @@
+"""Additional tests for report formatting and the direction enum."""
+
+import pytest
+
+from repro.harness.report import format_percent, format_table, format_watts
+from repro.network.direction import LinkDir
+
+
+class TestLinkDir:
+    def test_two_directions(self):
+        assert LinkDir.REQUEST.value == "request"
+        assert LinkDir.RESPONSE.value == "response"
+        assert LinkDir.REQUEST is not LinkDir.RESPONSE
+
+    def test_links_module_reexports(self):
+        from repro.network.links import LinkDir as FromLinks
+
+        assert FromLinks is LinkDir
+
+
+class TestFormatTable:
+    def test_column_widths_accommodate_longest(self):
+        out = format_table(["a"], [["short"], ["a-very-long-cell"]])
+        header, sep, *rows = out.splitlines()
+        assert len(sep) >= len("a-very-long-cell")
+
+    def test_title_underline_spans(self):
+        out = format_table(["col"], [["x"]], title="My Title")
+        lines = out.splitlines()
+        assert lines[0] == "My Title"
+        assert set(lines[1]) == {"="}
+
+    def test_mixed_types_stringified(self):
+        out = format_table(["n", "f"], [[1, 2.5], [None, True]])
+        assert "None" in out and "2.5" in out
+
+    def test_extra_columns_tolerated(self):
+        out = format_table(["a"], [["x", "overflow"]])
+        assert "overflow" in out
+
+
+class TestFormatters:
+    def test_percent_rounding(self):
+        assert format_percent(0.1999) == "20.0%"
+        assert format_percent(1.0) == "100.0%"
+        assert format_percent(-0.05) == "-5.0%"
+
+    def test_watts_digits(self):
+        assert format_watts(0.5864, digits=3) == "0.586 W"

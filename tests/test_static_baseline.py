@@ -1,0 +1,102 @@
+"""Tests for the static fat/tapered-tree baseline (Section VII-A)."""
+
+import pytest
+
+from repro.core.mechanisms import make_mechanism
+from repro.core.static_baseline import StaticBaselinePolicy, static_width_fractions
+from repro.network import MemoryNetwork, build_topology
+from repro.network.topology import daisychain, ternary_tree
+from repro.sim import Simulator
+from repro.workloads.mapping import AddressMapping
+
+GB = 1024**3
+
+
+class TestFormula:
+    def test_root_link_gets_full_bandwidth(self):
+        fractions = static_width_fractions(daisychain(5))
+        assert fractions[0] == pytest.approx(1.0)
+
+    def test_daisychain_tapers_linearly(self):
+        # S(d) = 1 for every depth; link d gets 1 - (d-1)/N.
+        n = 5
+        fractions = static_width_fractions(daisychain(n))
+        for module in range(n):
+            d = module + 1
+            assert fractions[module] == pytest.approx(1.0 - (d - 1) / n)
+
+    def test_ternary_tree_fans_out(self):
+        # 13-node ternary tree: S = {1:1, 2:3, 3:9}, T = 13.
+        fractions = static_width_fractions(ternary_tree(13))
+        assert fractions[0] == pytest.approx(1.0)
+        assert fractions[1] == pytest.approx((1 / 3) * (1 - 1 / 13))
+        assert fractions[4] == pytest.approx((1 / 9) * (1 - 4 / 13))
+
+    def test_fractions_monotone_in_depth(self):
+        topo = ternary_tree(13)
+        fractions = static_width_fractions(topo)
+        for module in range(1, 13):
+            parent = topo.parent[module]
+            assert fractions[module] <= fractions[parent] + 1e-12
+
+    def test_fractions_bounded(self):
+        for builder in (daisychain, ternary_tree):
+            for frac in static_width_fractions(builder(9)).values():
+                assert 0.0 <= frac <= 1.0
+
+
+class TestPolicy:
+    def make(self, topology="ternary_tree", n=13):
+        sim = Simulator()
+        topo = build_topology(topology, n)
+        mapping = AddressMapping(num_modules=n, granularity_bytes=GB)
+        net = MemoryNetwork(sim, topo, make_mechanism("VWL"), mapping)
+        return sim, net, StaticBaselinePolicy(net)
+
+    def test_rounds_up_to_available_width(self):
+        _sim, net, policy = self.make()
+        net.start()
+        policy.start()
+        # Depth-2 target ~0.308 rounds up to the 8-lane (0.5) option.
+        assert policy.selected[1] == 1
+        # Depth-3 target ~0.077 rounds up to the 4-lane (0.25) option.
+        assert policy.selected[4] == 2
+
+    def test_root_stays_full_width(self):
+        _sim, net, policy = self.make()
+        net.start()
+        policy.start()
+        assert policy.selected[0] == 0
+        assert net.channel_req.width_idx == 0
+
+    def test_roo_disabled(self):
+        _sim, net, policy = self.make()
+        net.start()
+        policy.start()
+        for link in net.all_links():
+            assert not link.roo_enabled
+
+    def test_modes_applied_to_links(self):
+        sim, net, policy = self.make()
+        net.start()
+        policy.start()
+        sim.run(until=5000.0)  # past the 1 us transition
+        for module in net.modules:
+            expected = policy.selected[module.module_id]
+            assert module.req_in.width_idx == expected
+            assert module.resp_out.width_idx == expected
+
+    def test_static_saves_power_at_performance_cost(self):
+        from repro.harness.experiment import ExperimentConfig, run_experiment
+
+        base = dict(
+            workload="is.D", topology="daisychain", scale="big",
+            window_ns=150_000.0, mapping="interleaved",
+        )
+        fp = run_experiment(ExperimentConfig(mechanism="FP", policy="none", **base))
+        static = run_experiment(
+            ExperimentConfig(mechanism="VWL", policy="static", **base)
+        )
+        assert static.network_power_w < fp.network_power_w
+        # Narrow links serialize packets more slowly.
+        assert static.avg_read_latency_ns > fp.avg_read_latency_ns

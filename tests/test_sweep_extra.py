@@ -1,0 +1,63 @@
+"""Extra sweep-runner coverage: cross-metric consistency."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.sweep import SweepRunner
+
+FAST = dict(window_ns=50_000.0, epoch_ns=15_000.0)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner()
+
+
+class TestReductionMetrics:
+    def test_reductions_consistent_with_results(self, runner):
+        cfg = ExperimentConfig(
+            workload="sp.D", mechanism="VWL+ROO", policy="aware", **FAST
+        )
+        managed, baseline = runner.run_with_baseline(cfg)
+        total_red = runner.power_reduction_vs_baseline(cfg)
+        assert total_red == pytest.approx(
+            1 - managed.network_power_w / baseline.network_power_w
+        )
+        io_red = runner.io_power_reduction_vs_baseline(cfg)
+        assert io_red == pytest.approx(
+            1 - managed.io_power_w / baseline.io_power_w
+        )
+
+    def test_io_reduction_exceeds_total_reduction(self, runner):
+        # Management only touches I/O; leakage dilutes total savings.
+        cfg = ExperimentConfig(
+            workload="sp.D", mechanism="VWL+ROO", policy="aware", **FAST
+        )
+        assert runner.io_power_reduction_vs_baseline(cfg) > (
+            runner.power_reduction_vs_baseline(cfg)
+        )
+
+    def test_idle_io_reduction_largest(self, runner):
+        # Idle I/O is where the savings come from.
+        cfg = ExperimentConfig(
+            workload="sp.D", mechanism="VWL+ROO", policy="aware", **FAST
+        )
+        assert runner.idle_io_power_reduction_vs_baseline(cfg) >= (
+            runner.io_power_reduction_vs_baseline(cfg) - 0.02
+        )
+
+    def test_fp_run_has_zero_reduction(self, runner):
+        cfg = ExperimentConfig(workload="sp.D", **FAST)
+        assert runner.power_reduction_vs_baseline(cfg) == pytest.approx(0.0)
+        assert runner.degradation_vs_baseline(cfg) == pytest.approx(0.0)
+
+    def test_cache_shared_across_metric_calls(self, runner):
+        cfg = ExperimentConfig(
+            workload="sp.D", mechanism="VWL", policy="unaware", **FAST
+        )
+        before = runner.runs
+        runner.power_reduction_vs_baseline(cfg)
+        runner.io_power_reduction_vs_baseline(cfg)
+        runner.degradation_vs_baseline(cfg)
+        # Only the managed run and its baseline actually simulated.
+        assert runner.runs <= before + 2

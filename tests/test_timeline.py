@@ -1,0 +1,109 @@
+"""Tests for the link state sampler."""
+
+import pytest
+
+from repro.core.mechanisms import LinkModeState, make_mechanism
+from repro.harness.timeline import StateSampler
+from repro.network import MemoryNetwork, build_topology
+from repro.sim import Simulator
+from repro.workloads.mapping import AddressMapping
+
+GB = 1024**3
+
+
+def make(mechanism="ROO", n=2):
+    sim = Simulator()
+    topo = build_topology("daisychain", n)
+    mapping = AddressMapping(num_modules=n, granularity_bytes=4 * GB)
+    net = MemoryNetwork(sim, topo, make_mechanism(mechanism), mapping)
+    net.start()
+    return sim, net
+
+
+class TestSampling:
+    def test_collects_samples_at_period(self):
+        sim, net = make()
+        sampler = StateSampler(net, period_ns=100.0)
+        sampler.start()
+        sim.run(until=1000.0)
+        series = sampler.samples[net.channel_req]
+        assert len(series) == 10
+        assert series[1].time_ns - series[0].time_ns == pytest.approx(100.0)
+
+    def test_stop_halts_collection(self):
+        sim, net = make()
+        sampler = StateSampler(net, period_ns=100.0)
+        sampler.start()
+        sim.run(until=300.0)
+        sampler.stop()
+        sim.run(until=1000.0)
+        assert len(sampler.samples[net.channel_req]) <= 4
+
+    def test_double_start_is_idempotent(self):
+        sim, net = make()
+        sampler = StateSampler(net, period_ns=100.0)
+        sampler.start()
+        sampler.start()
+        sim.run(until=500.0)
+        assert len(sampler.samples[net.channel_req]) == 5
+
+    def test_invalid_period(self):
+        _sim, net = make()
+        with pytest.raises(ValueError):
+            StateSampler(net, period_ns=0.0)
+
+
+class TestSummaries:
+    def test_off_duty_cycle_observed(self):
+        sim, net = make("ROO")
+        link = net.channel_req
+        link.set_mode(LinkModeState(0, 3), 0.0)  # sleep after 32 ns idle
+        sampler = StateSampler(net, period_ns=100.0)
+        sampler.start()
+        sim.run(until=5000.0)
+        duty = sampler.duty_cycles()[link]
+        assert duty["off"] > 0.9
+
+    def test_width_duty_cycle(self):
+        sim, net = make("VWL")
+        link = net.channel_req
+        link.set_mode(LinkModeState(2, None), 0.0)
+        sampler = StateSampler(net, period_ns=500.0)
+        sampler.start()
+        sim.run(until=10_000.0)
+        duty = sampler.duty_cycles()[link]
+        assert duty["width_2"] > 0.9
+        assert duty["off"] == 0.0
+
+    def test_transitions_detected(self):
+        sim, net = make("ROO")
+        link = net.channel_req
+        link.set_mode(LinkModeState(0, 3), 0.0)
+        sampler = StateSampler(net, period_ns=10.0)
+        sampler.start()
+        # Sleep, then wake via traffic at t=2000.
+        sim.schedule_at(2000.0, lambda: net.inject_read(0, sim.now))
+        sim.run(until=3000.0)
+        events = sampler.transitions(link)
+        kinds = [k for _t, k in events]
+        assert "off" in kinds and "on" in kinds
+
+    def test_max_queue_depth(self):
+        sim, net = make("FP")
+
+        def burst():
+            for i in range(20):
+                net.inject_read(i * 64, sim.now)
+
+        sim.schedule(100.0, burst)
+        sampler = StateSampler(net, period_ns=1.0)
+        sampler.start()
+        sim.run(until=300.0)
+        assert sampler.max_queue_depth(net.channel_req) > 0
+
+    def test_empty_sampler_summaries(self):
+        _sim, net = make()
+        sampler = StateSampler(net)
+        assert sampler.duty_cycles()[net.channel_req] == {}
+        assert sampler.transitions(net.channel_req) == []
+        assert sampler.max_queue_depth(net.channel_req) == 0

@@ -1,0 +1,187 @@
+"""Tests for trace capture, persistence, and replay."""
+
+import pytest
+
+from repro.core.mechanisms import make_mechanism
+from repro.network import MemoryNetwork, build_topology
+from repro.sim import Simulator
+from repro.workloads import ClosedLoopWorkload, contiguous_mapping, get_profile
+from repro.workloads.mapping import AddressMapping
+from repro.workloads.traces import (
+    TraceError,
+    TraceRecord,
+    TraceRecorder,
+    TraceReplayWorkload,
+    load_trace,
+    save_trace,
+)
+
+GB = 1024**3
+
+
+def make_network(n=2):
+    sim = Simulator()
+    topo = build_topology("daisychain", n)
+    mapping = AddressMapping(num_modules=n, granularity_bytes=4 * GB)
+    net = MemoryNetwork(sim, topo, make_mechanism("FP"), mapping)
+    net.start()
+    return sim, net
+
+
+class TestTraceRecord:
+    def test_roundtrip_line(self):
+        rec = TraceRecord(time_ns=123.456, address=0xDEADBEEF, is_read=True, stream=7)
+        parsed = TraceRecord.from_line(rec.to_line())
+        assert parsed.address == 0xDEADBEEF
+        assert parsed.is_read and parsed.stream == 7
+        assert parsed.time_ns == pytest.approx(123.456)
+
+    def test_write_kind(self):
+        rec = TraceRecord(0.0, 64, False)
+        assert " W " in rec.to_line()
+        assert not TraceRecord.from_line(rec.to_line()).is_read
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord.from_line("1.0 0x40 R")
+        with pytest.raises(TraceError):
+            TraceRecord.from_line("1.0 0x40 X 0")
+        with pytest.raises(TraceError):
+            TraceRecord.from_line("abc 0x40 R 0")
+
+
+class TestPersistence:
+    def records(self):
+        return [
+            TraceRecord(float(i) * 10, i * 64, i % 3 != 0, i % 4)
+            for i in range(50)
+        ]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        n = save_trace(path, self.records())
+        assert n == 50
+        loaded = load_trace(path)
+        assert loaded == self.records()
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        save_trace(path, self.records())
+        assert load_trace(path) == self.records()
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("1.0 0x40 R 0\n")
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(
+            "# repro-mnet trace v1\n\n# comment\n5.0 0x40 R 1\n"
+        )
+        records = load_trace(str(path))
+        assert len(records) == 1
+        assert records[0].stream == 1
+
+
+class TestRecorder:
+    def test_captures_injections(self):
+        sim, net = make_network()
+        recorder = TraceRecorder(net)
+        net.inject_read(64, 0.0, stream=3)
+        net.inject_write(4 * GB + 128, 5.0)
+        sim.run()
+        assert len(recorder.records) == 2
+        assert recorder.records[0].is_read and recorder.records[0].stream == 3
+        assert not recorder.records[1].is_read
+
+    def test_detach_stops_recording(self):
+        sim, net = make_network()
+        recorder = TraceRecorder(net)
+        net.inject_read(0, 0.0)
+        recorder.detach()
+        net.inject_read(64, 1.0)
+        sim.run()
+        assert len(recorder.records) == 1
+        assert net.completed_reads == 2  # injection still works
+
+    def test_closed_loop_run_is_recordable(self):
+        profile = get_profile("lu.D")
+        mapping = contiguous_mapping(profile.footprint_gb, "small")
+        sim = Simulator()
+        topo = build_topology("daisychain", mapping.num_modules)
+        net = MemoryNetwork(sim, topo, make_mechanism("FP"), mapping)
+        recorder = TraceRecorder(net)
+        wl = ClosedLoopWorkload(net, profile, stop_ns=20_000.0, seed=1)
+        net.start()
+        wl.start()
+        sim.run(until=20_000.0)
+        assert len(recorder.records) == net.injected_reads + net.injected_writes
+        times = [r.time_ns for r in recorder.records]
+        assert times == sorted(times)
+
+
+class TestReplay:
+    def test_replay_reproduces_access_counts(self):
+        records = [TraceRecord(float(i) * 20, (i % 2) * 4 * GB, True, 0) for i in range(20)]
+        sim, net = make_network()
+        replay = TraceReplayWorkload(net, records)
+        replay.start()
+        sim.run()
+        assert replay.injected == 20
+        assert net.completed_reads == 20
+
+    def test_replay_from_file(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        save_trace(path, [TraceRecord(10.0, 64, True, 0)])
+        sim, net = make_network()
+        replay = TraceReplayWorkload(net, path)
+        replay.start()
+        sim.run()
+        assert net.completed_reads == 1
+
+    def test_time_scale_stretches_schedule(self):
+        records = [TraceRecord(100.0, 0, True, 0)]
+        sim, net = make_network()
+        TraceReplayWorkload(net, records, time_scale=3.0).start()
+        assert sim.peek_next_time() == pytest.approx(300.0)
+
+    def test_stop_ns_truncates(self):
+        records = [TraceRecord(t, 0, True, 0) for t in (10.0, 20.0, 900.0)]
+        sim, net = make_network()
+        replay = TraceReplayWorkload(net, records, stop_ns=100.0)
+        replay.start()
+        sim.run()
+        assert replay.injected == 2
+
+    def test_invalid_time_scale(self):
+        sim, net = make_network()
+        with pytest.raises(ValueError):
+            TraceReplayWorkload(net, [], time_scale=0.0)
+
+    def test_record_then_replay_same_network_shape(self):
+        """A recorded closed-loop run replays to identical DRAM reads."""
+        profile = get_profile("sp.D")
+        mapping = contiguous_mapping(profile.footprint_gb, "small")
+
+        def fresh():
+            sim = Simulator()
+            topo = build_topology("star", mapping.num_modules)
+            net = MemoryNetwork(sim, topo, make_mechanism("FP"), mapping)
+            return sim, net
+
+        sim, net = fresh()
+        recorder = TraceRecorder(net)
+        wl = ClosedLoopWorkload(net, profile, stop_ns=30_000.0, seed=2)
+        net.start()
+        wl.start()
+        sim.run(until=30_000.0)
+        sim.run()  # drain
+        recorded_reads = [m.dram_reads for m in net.modules]
+
+        sim2, net2 = fresh()
+        net2.start()
+        TraceReplayWorkload(net2, recorder.records).start()
+        sim2.run()
+        assert [m.dram_reads for m in net2.modules] == recorded_reads

@@ -1,0 +1,48 @@
+"""Tests for unit conventions."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    MS,
+    NS,
+    S,
+    US,
+    gbps_lane_to_bytes_per_ns,
+    ns_to_s,
+    s_to_ns,
+)
+
+
+class TestTimeUnits:
+    def test_hierarchy(self):
+        assert US == 1000 * NS
+        assert MS == 1000 * US
+        assert S == 1000 * MS
+
+    def test_conversions_roundtrip(self):
+        assert ns_to_s(s_to_ns(1.5)) == pytest.approx(1.5)
+        assert s_to_ns(1.0) == 1e9
+
+
+class TestCapacityUnits:
+    def test_binary_prefixes(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+
+class TestBandwidth:
+    def test_full_hmc_link(self):
+        # 16 lanes x 12.5 Gbps = 25 bytes/ns per direction.
+        assert gbps_lane_to_bytes_per_ns(12.5, 16) == pytest.approx(25.0)
+
+    def test_single_lane(self):
+        assert gbps_lane_to_bytes_per_ns(8.0, 1) == pytest.approx(1.0)
+
+    def test_flit_time_consistency(self):
+        # One 16 B flit over the full link takes 0.64 ns.
+        bw = gbps_lane_to_bytes_per_ns(12.5, 16)
+        assert 16 / bw == pytest.approx(0.64)

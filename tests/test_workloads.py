@@ -1,0 +1,240 @@
+"""Unit tests for workload profiles, mapping, and the closed-loop generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mechanisms import make_mechanism
+from repro.network import MemoryNetwork, build_topology
+from repro.sim import Simulator
+from repro.workloads import (
+    ClosedLoopWorkload,
+    MIX_COMPOSITION,
+    WORKLOAD_NAMES,
+    WORKLOADS,
+    contiguous_mapping,
+    get_profile,
+    modules_for_footprint,
+    page_interleaved_mapping,
+)
+from repro.workloads.mapping import AddressMapping
+
+GB = 1024**3
+
+
+class TestProfiles:
+    def test_fourteen_workloads(self):
+        assert len(WORKLOAD_NAMES) == 14
+        assert len(WORKLOADS) == 14
+
+    def test_seven_hpc_seven_mixes(self):
+        hpc = [w for w in WORKLOAD_NAMES if w.endswith(".D")]
+        mixes = [w for w in WORKLOAD_NAMES if w.startswith("mix")]
+        assert len(hpc) == 7 and len(mixes) == 7
+
+    def test_average_footprint_near_17gb(self):
+        # Section III-C: the average memory footprint is 17 GB.
+        avg = sum(p.footprint_gb for p in WORKLOADS.values()) / len(WORKLOADS)
+        assert 14 <= avg <= 19
+
+    def test_average_channel_utilization_near_43pct(self):
+        # Figure 9: average channel utilization is 43 %.
+        avg = sum(p.channel_util for p in WORKLOADS.values()) / len(WORKLOADS)
+        assert 0.38 <= avg <= 0.48
+
+    def test_mixb_highest_spd_lowest(self):
+        utils = {n: p.channel_util for n, p in WORKLOADS.items()}
+        assert max(utils, key=utils.get) == "mixB"
+        assert min(utils, key=utils.get) == "sp.D"
+
+    def test_avg_small_network_has_about_5_hmcs(self):
+        # ceil(17/4) = 5 HMCs on average for the small study.
+        sizes = [modules_for_footprint(p.footprint_gb, "small") for p in WORKLOADS.values()]
+        assert 4 <= sum(sizes) / len(sizes) <= 6
+
+    def test_mix_compositions_from_table3(self):
+        assert "mcf" in MIX_COMPOSITION["mixB"]
+        assert "bwaves" in MIX_COMPOSITION["mixA"]
+        assert len(MIX_COMPOSITION) == 7
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            get_profile("mixZ")
+
+    def test_cdf_endpoints(self):
+        for p in WORKLOADS.values():
+            assert p.access_fraction_below(0) == 0.0
+            assert p.access_fraction_below(p.footprint_gb) == 1.0
+
+    def test_cdf_monotone(self):
+        p = get_profile("cg.D")
+        prev = -1.0
+        for gb10 in range(0, int(p.footprint_gb * 10) + 1):
+            val = p.access_fraction_below(gb10 / 10)
+            assert val >= prev
+            prev = val
+
+    def test_inverse_cdf_roundtrip(self):
+        p = get_profile("is.D")
+        for u in (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.999):
+            gb = p.sample_address_gb(u)
+            assert 0 <= gb <= p.footprint_gb
+            assert p.access_fraction_below(gb) == pytest.approx(u, abs=1e-6)
+
+    def test_cold_ranges_exist(self):
+        # is.D's middle (Figure 4's flat segment) receives little traffic.
+        p = get_profile("is.D")
+        mass_6_24 = p.access_fraction_below(24) - p.access_fraction_below(6)
+        assert mass_6_24 < 0.15
+
+
+class TestMapping:
+    def test_contiguous_module_of(self):
+        m = AddressMapping(num_modules=4, granularity_bytes=4 * GB)
+        assert m.module_of(0) == 0
+        assert m.module_of(4 * GB) == 1
+        assert m.module_of(16 * GB - 64) == 3
+
+    def test_contiguous_rejects_out_of_range(self):
+        m = AddressMapping(num_modules=2, granularity_bytes=GB)
+        with pytest.raises(ValueError):
+            m.module_of(2 * GB)
+
+    def test_interleaved_wraps(self):
+        m = AddressMapping(num_modules=3, granularity_bytes=4096, interleaved=True)
+        assert m.module_of(0) == 0
+        assert m.module_of(4096) == 1
+        assert m.module_of(3 * 4096) == 0
+
+    def test_negative_address_rejected(self):
+        m = AddressMapping(num_modules=2, granularity_bytes=GB)
+        with pytest.raises(ValueError):
+            m.module_of(-64)
+
+    def test_modules_for_footprint(self):
+        assert modules_for_footprint(17.0, "small") == 5
+        assert modules_for_footprint(17.0, "big") == 17
+        assert modules_for_footprint(4.0, "small") == 1
+        assert modules_for_footprint(4.5, "small") == 2
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            modules_for_footprint(8.0, "huge")
+
+    def test_factory_functions(self):
+        small = contiguous_mapping(9.0, "small")
+        assert small.num_modules == 3 and not small.interleaved
+        inter = page_interleaved_mapping(9.0, "big")
+        assert inter.num_modules == 9 and inter.interleaved
+        assert inter.granularity_bytes == 4096
+
+
+def build_workload(name="lu.D", topology="daisychain", stop_ns=50_000.0, seed=1):
+    profile = get_profile(name)
+    mapping = contiguous_mapping(profile.footprint_gb, "small")
+    sim = Simulator()
+    topo = build_topology(topology, mapping.num_modules)
+    net = MemoryNetwork(sim, topo, make_mechanism("FP"), mapping)
+    wl = ClosedLoopWorkload(net, profile, stop_ns=stop_ns, seed=seed)
+    return sim, net, wl
+
+
+class TestGenerator:
+    def test_generates_traffic(self):
+        sim, net, wl = build_workload()
+        net.start()
+        wl.start()
+        sim.run(until=50_000.0)
+        assert net.completed_reads > 100
+        assert net.completed_writes > 0
+
+    def test_deterministic_across_runs(self):
+        def run():
+            sim, net, wl = build_workload(seed=42)
+            net.start()
+            wl.start()
+            sim.run(until=30_000.0)
+            return (net.completed_reads, net.completed_writes,
+                    net.sum_read_latency_ns)
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            sim, net, wl = build_workload(seed=seed)
+            net.start()
+            wl.start()
+            sim.run(until=30_000.0)
+            return net.completed_reads
+
+        assert run(1) != run(2)
+
+    def test_addresses_respect_footprint(self):
+        sim, net, wl = build_workload("lu.D")
+        seen = []
+        original = net.inject_read
+        net.inject_read = lambda addr, now, stream=0: (
+            seen.append(addr), original(addr, now, stream))[-1]
+        net.start()
+        wl.start()
+        sim.run(until=20_000.0)
+        assert seen
+        limit = int(9 * GB)
+        assert all(0 <= a < limit for a in seen)
+
+    def test_read_fraction_approximate(self):
+        sim, net, wl = build_workload("lu.D")  # read_fraction 0.75
+        net.start()
+        wl.start()
+        sim.run(until=100_000.0)
+        total = net.injected_reads + net.injected_writes
+        frac = net.injected_reads / total
+        assert 0.65 <= frac <= 0.85
+
+    def test_stops_at_stop_ns(self):
+        sim, net, wl = build_workload(stop_ns=10_000.0)
+        net.start()
+        wl.start()
+        sim.run()  # run to quiescence
+        assert sim.now < 30_000.0
+
+    def test_hot_modules_receive_more_traffic(self):
+        sim, net, wl = build_workload("cg.D", topology="daisychain")
+        net.start()
+        wl.start()
+        sim.run(until=60_000.0)
+        reads = [m.dram_reads for m in net.modules]
+        # cg.D's CDF puts 85 % of traffic in the first 4 GB (module 0).
+        assert reads[0] > sum(reads[1:])
+
+    def test_throughput_reporting(self):
+        sim, net, wl = build_workload()
+        net.start()
+        wl.start()
+        sim.run(until=50_000.0)
+        thr = wl.throughput_per_s(50_000.0)
+        assert thr == pytest.approx(
+            (net.completed_reads + net.completed_writes) / 50e-6
+        )
+
+    def test_channel_utilization_tracks_target(self):
+        from repro.harness.metrics import channel_utilization
+
+        sim, net, wl = build_workload("lu.D", stop_ns=200_000.0)
+        net.start()
+        wl.start()
+        sim.run(until=200_000.0)
+        util = channel_utilization(net, 200_000.0)
+        target = get_profile("lu.D").channel_util
+        assert abs(util - target) < 0.15
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    u=st.floats(min_value=0.0, max_value=0.999),
+    name=st.sampled_from(sorted(WORKLOADS)),
+)
+def test_sample_address_in_range(u, name):
+    p = get_profile(name)
+    gb = p.sample_address_gb(u)
+    assert 0.0 <= gb <= p.footprint_gb
