@@ -2,7 +2,17 @@
 
 A single session-scoped :class:`SweepRunner` caches every simulation so
 runs shared between figures (full-power baselines, the unaware grid)
-simulate exactly once per pytest session.
+simulate exactly once per pytest session.  It is additionally backed by
+the shared persistent :class:`DiskCache`, so baselines survive *across*
+sessions -- re-running the suite (or mixing it with ``repro-mnet
+figure`` invocations) only simulates what the cache has never seen.
+
+Environment knobs:
+
+* ``REPRO_BENCH_NO_CACHE=1`` -- in-memory caching only (every session
+  starts cold);
+* ``REPRO_CACHE_DIR=...`` -- relocate the persistent cache;
+* ``REPRO_BENCH_JOBS=N`` -- run cache misses over N worker processes.
 
 Each benchmark prints its table/series and also writes it to
 ``results/<artifact>.txt`` so the output survives pytest's capture.
@@ -14,10 +24,13 @@ windows; set ``REPRO_BENCH_FULL=1`` for all 14 workloads over 1 ms
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.harness.diskcache import DiskCache
+from repro.harness.executor import make_executor
 from repro.harness.figures import RunSettings
 from repro.harness.sweep import SweepRunner
 
@@ -26,7 +39,11 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 @pytest.fixture(scope="session")
 def runner() -> SweepRunner:
-    return SweepRunner()
+    disk = None
+    if os.environ.get("REPRO_BENCH_NO_CACHE", "0") != "1":
+        disk = DiskCache()  # $REPRO_CACHE_DIR or ~/.cache/repro-mnet
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return SweepRunner(executor=make_executor(jobs), disk_cache=disk)
 
 
 @pytest.fixture(scope="session")

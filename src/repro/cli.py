@@ -8,6 +8,12 @@ Subcommands::
 
 The ``figure`` subcommand accepts: fig4, fig5, fig6, fig8, fig9, fig11,
 fig12, fig13, fig15, fig16, fig17, fig18, sec7.
+
+Simulating subcommands (``run``, ``figure``, ``sweep-alpha``, ``batch``)
+share three execution flags: ``--jobs N`` fans cache misses out over a
+process pool, ``--cache-dir PATH`` relocates the persistent result
+cache (default ``~/.cache/repro-mnet``, or ``$REPRO_CACHE_DIR``), and
+``--no-cache`` disables the disk cache for that invocation.
 """
 
 from __future__ import annotations
@@ -16,7 +22,9 @@ import argparse
 import sys
 
 from repro.core.mechanisms import MECHANISM_NAMES
-from repro.harness.experiment import ExperimentConfig, POLICY_NAMES, run_experiment
+from repro.harness.diskcache import DiskCache
+from repro.harness.executor import make_executor
+from repro.harness.experiment import ExperimentConfig, POLICY_NAMES
 from repro.harness import figures as F
 from repro.harness.report import format_table
 from repro.harness.sweep import SweepRunner
@@ -24,6 +32,28 @@ from repro.network.topology import TOPOLOGY_BUILDERS, TOPOLOGY_NAMES
 from repro.workloads import WORKLOAD_NAMES, get_profile
 
 __all__ = ["main"]
+
+
+def _make_runner(args) -> SweepRunner:
+    """A SweepRunner honouring the shared execution flags."""
+    try:
+        disk = None if args.no_cache else DiskCache(args.cache_dir)
+    except NotADirectoryError as exc:
+        raise SystemExit(f"error: {exc}")
+    return SweepRunner(executor=make_executor(args.jobs), disk_cache=disk)
+
+
+def _print_run_stats(runner: SweepRunner) -> None:
+    """One-line cache/instrumentation summary (stderr, machine-greppable)."""
+    disk = runner.disk_cache
+    disk_part = (
+        f", {runner.disk_hits} disk hits" if disk is not None else ", disk cache off"
+    )
+    print(
+        f"# {runner.runs} simulated ({runner.sim_wall_time_s:.1f}s sim time), "
+        f"{runner.memory_hits} memory hits{disk_part}",
+        file=sys.stderr,
+    )
 
 
 def _cmd_list(_args) -> int:
@@ -58,7 +88,8 @@ def _cmd_run(args) -> int:
         wake_ns=args.wake_ns,
         mapping=args.mapping,
     )
-    result = run_experiment(config)
+    runner = _make_runner(args)
+    result = runner.run(config)
     rows = [
         ["modules", result.num_modules],
         ["power per HMC", f"{result.power_per_hmc_w:.3f} W"],
@@ -74,17 +105,20 @@ def _cmd_run(args) -> int:
         ["completed reads/writes",
          f"{result.completed_reads}/{result.completed_writes}"],
         ["epochs / violations", f"{result.epochs}/{result.violations}"],
+        ["events processed", result.events_processed],
+        ["sim wall time", f"{result.wall_time_s:.2f} s"],
     ]
     title = (f"{config.workload} on {config.scale} {config.topology}, "
              f"{config.mechanism}/{config.policy}")
     print(format_table(["metric", "value"], rows, title=title))
 
     if args.baseline and config.policy != "none":
-        base = run_experiment(config.baseline())
+        base = runner.run(config.baseline())
         saved = 1 - result.network_power_w / base.network_power_w
         deg = 1 - result.throughput_per_s / base.throughput_per_s
         print()
         print(f"vs full power: {saved:+.1%} network power, {deg:+.2%} throughput cost")
+    _print_run_stats(runner)
     return 0
 
 
@@ -125,13 +159,19 @@ def _cmd_figure(args) -> int:
         settings = F.RunSettings(
             workloads=WORKLOAD_NAMES, window_ns=1_000_000.0, epoch_ns=50_000.0
         )
-    runner = SweepRunner()
+    runner = _make_runner(args)
     fn = _FIGURES.get(args.name)
     if fn is None:
         print(f"unknown figure {args.name!r}; choose from {sorted(_FIGURES)}",
               file=sys.stderr)
         return 2
+    # Batch-prefetch the figure's whole grid so --jobs overlaps the
+    # simulations; the figure function then reads everything from cache.
+    prefetch = F.figure_configs(args.name, settings)
+    if prefetch:
+        runner.run_all(prefetch)
     fn(runner, settings)
+    _print_run_stats(runner)
     return 0
 
 
@@ -143,9 +183,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    exec_flags = argparse.ArgumentParser(add_help=False)
+    exec_group = exec_flags.add_argument_group("execution")
+    exec_group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run simulations over N worker processes (default: 1, serial)")
+    exec_group.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent result cache location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro-mnet)")
+    exec_group.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache for this invocation")
+
     sub.add_parser("list", help="list workloads, topologies, mechanisms")
 
-    run_p = sub.add_parser("run", help="run one experiment")
+    run_p = sub.add_parser("run", help="run one experiment", parents=[exec_flags])
     run_p.add_argument("--workload", default="mixB", choices=WORKLOAD_NAMES)
     run_p.add_argument("--topology", default="daisychain",
                        choices=sorted(TOPOLOGY_BUILDERS))
@@ -162,13 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--baseline", action="store_true",
                        help="also run the full-power baseline and compare")
 
-    fig_p = sub.add_parser("figure", help="regenerate a paper artifact")
+    fig_p = sub.add_parser("figure", help="regenerate a paper artifact",
+                           parents=[exec_flags])
     fig_p.add_argument("name", choices=sorted(_FIGURES))
     fig_p.add_argument("--full", action="store_true",
                        help="all 14 workloads, 1 ms windows (slow)")
 
     sweep_p = sub.add_parser("sweep-alpha",
-                             help="trade-off curve over alpha values")
+                             help="trade-off curve over alpha values",
+                             parents=[exec_flags])
     sweep_p.add_argument("--workload", default="mg.D", choices=WORKLOAD_NAMES)
     sweep_p.add_argument("--topology", default="star",
                          choices=sorted(TOPOLOGY_BUILDERS))
@@ -181,7 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--window-us", type=float, default=300.0)
     sweep_p.add_argument("--epoch-us", type=float, default=20.0)
 
-    batch_p = sub.add_parser("batch", help="run a JSON batch spec")
+    batch_p = sub.add_parser("batch", help="run a JSON batch spec",
+                             parents=[exec_flags])
     batch_p.add_argument("spec", help="batch spec file (see harness.io.load_batch)")
     batch_p.add_argument("--out-json", help="write results as JSON")
     batch_p.add_argument("--out-csv", help="write results as CSV")
@@ -202,7 +258,7 @@ def _cmd_sweep_alpha(args) -> int:
     from repro.harness.charts import line_chart
     from repro.harness.pareto import pareto_frontier, sweep_alpha
 
-    runner = SweepRunner()
+    runner = _make_runner(args)
     config = ExperimentConfig(
         workload=args.workload,
         topology=args.topology,
@@ -211,6 +267,9 @@ def _cmd_sweep_alpha(args) -> int:
         policy=args.policy,
         window_ns=args.window_us * 1000.0,
         epoch_ns=args.epoch_us * 1000.0,
+    )
+    runner.run_all(
+        [config.replace(alpha=a) for a in args.alphas] + [config.baseline()]
     )
     points = sweep_alpha(runner, config, alphas=args.alphas)
     rows = [
@@ -230,6 +289,7 @@ def _cmd_sweep_alpha(args) -> int:
     ))
     frontier = pareto_frontier(points)
     print(f"\nPareto-optimal points: {len(frontier)}/{len(points)}")
+    _print_run_stats(runner)
     return 0
 
 
@@ -264,14 +324,13 @@ def _cmd_batch(args) -> int:
 
     configs = load_batch(args.spec)
     print(f"Running {len(configs)} experiments from {args.spec} ...")
-    runner = SweepRunner()
-    results = []
-    for i, config in enumerate(configs, 1):
-        result = runner.run(config)
-        results.append(result)
+    runner = _make_runner(args)
+    results = runner.run_all(configs)
+    for i, (config, result) in enumerate(zip(configs, results), 1):
         print(f"  [{i}/{len(configs)}] {config.workload}/{config.topology}/"
               f"{config.mechanism}/{config.policy}: "
               f"{result.power_per_hmc_w:.2f} W/HMC")
+    _print_run_stats(runner)
     if args.out_json:
         save_results_json(args.out_json, results)
         print(f"Wrote {args.out_json}")

@@ -1,16 +1,26 @@
 """Experiment harness: runners, sweeps, metrics, figure reproduction."""
 
+from repro.harness.diskcache import DiskCache, SCHEMA_VERSION, default_cache_dir
+from repro.harness.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.harness.experiment import (
     ExperimentConfig,
     ExperimentResult,
+    OBSERVABILITY_FIELDS,
     POLICY_NAMES,
     run_experiment,
 )
-from repro.harness.figures import RunSettings
+from repro.harness.figures import FIGURE_CONFIGS, RunSettings, figure_configs
 from repro.harness.io import (
     config_from_dict,
     config_to_dict,
     load_batch,
+    result_from_cache_dict,
+    result_to_cache_dict,
     result_to_dict,
     save_results_csv,
     save_results_json,
@@ -41,9 +51,19 @@ __all__ = [
     "ExperimentResult",
     "run_experiment",
     "POLICY_NAMES",
+    "OBSERVABILITY_FIELDS",
     "RunSettings",
+    "FIGURE_CONFIGS",
+    "figure_configs",
     "SweepRunner",
     "grid_configs",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "DiskCache",
+    "SCHEMA_VERSION",
+    "default_cache_dir",
     "channel_utilization",
     "avg_link_utilization",
     "avg_modules_traversed",
@@ -70,6 +90,8 @@ __all__ = [
     "config_to_dict",
     "config_from_dict",
     "result_to_dict",
+    "result_to_cache_dict",
+    "result_from_cache_dict",
     "save_results_json",
     "save_results_csv",
     "load_batch",

@@ -1,0 +1,126 @@
+"""Persistent on-disk result cache, keyed by config content hash.
+
+One JSON file per :class:`~repro.harness.experiment.ExperimentResult`,
+named ``<cache_key>.json`` and grouped under a *schema tag* directory::
+
+    <root>/v<SCHEMA_VERSION>-<repro.__version__>/<cache_key>.json
+
+The tag couples the cache to both the serialization schema and the
+package version, so bumping ``repro.__version__`` (or the schema)
+invalidates every stale entry without any migration logic -- old
+directories are simply never read again.
+
+The default root is ``~/.cache/repro-mnet``; override per-call with the
+constructor argument, or globally with the ``REPRO_CACHE_DIR``
+environment variable.  Entries are written atomically (tempfile +
+rename) so concurrent writers -- e.g. a :class:`ParallelExecutor` batch
+feeding one cache, or two CLI invocations racing -- at worst do
+duplicate work, never corrupt an entry.  Unreadable or truncated files
+are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
+from repro.harness.io import result_from_cache_dict, result_to_cache_dict
+
+__all__ = ["DiskCache", "SCHEMA_VERSION", "default_cache_dir"]
+
+#: Bump when the cache-dict layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-mnet``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro-mnet").expanduser()
+
+
+class DiskCache:
+    """JSON-per-result store under a versioned cache directory."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+        if self.root.exists() and not self.root.is_dir():
+            raise NotADirectoryError(
+                f"cache dir {self.root} exists but is not a directory"
+            )
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @property
+    def schema_tag(self) -> str:
+        """Directory name tying entries to schema + package version."""
+        import repro  # deferred: repro.__init__ imports the harness
+
+        return f"v{SCHEMA_VERSION}-{repro.__version__}"
+
+    @property
+    def directory(self) -> Path:
+        """The active (schema-tagged) cache directory."""
+        return self.root / self.schema_tag
+
+    def path_for(self, config: ExperimentConfig) -> Path:
+        """Where this config's result lives (whether or not it exists)."""
+        return self.directory / f"{config.cache_key()}.json"
+
+    def get(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """The cached result for ``config``, or ``None`` on a miss."""
+        path = self.path_for(config)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            result = result_from_cache_dict(data["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Corrupt or half-written entry: drop it and re-simulate.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, config: ExperimentConfig, result: ExperimentResult) -> Path:
+        """Persist ``result`` under ``config``'s key; returns the path."""
+        path = self.path_for(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": self.schema_tag,
+            "key": config.cache_key(),
+            "result": result_to_cache_dict(result),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries readable under the active schema tag."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,87 @@
+"""Execution backends for experiment batches.
+
+:class:`~repro.harness.sweep.SweepRunner` delegates the actual
+simulation of cache misses to an *executor*.  Two are provided:
+
+* :class:`SerialExecutor` -- runs each config inline, in order (the
+  previous behaviour, and the default);
+* :class:`ParallelExecutor` -- fans a batch out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Configs and results
+  already round-trip through the plain dicts in
+  :mod:`repro.harness.io`, so both are picklable by construction.
+
+The simulation engine is seed-deterministic and every experiment is
+independent, so the two executors produce bit-identical results for the
+same batch (``tests/test_executor.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "make_executor"]
+
+
+class Executor:
+    """Interface: turn a batch of configs into a batch of results."""
+
+    #: Worker count, for display purposes.
+    jobs: int = 1
+
+    def run_many(
+        self, configs: Iterable[ExperimentConfig]
+    ) -> List[ExperimentResult]:
+        """Simulate every config; results are returned in input order."""
+        raise NotImplementedError
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Simulate a single config."""
+        return self.run_many([config])[0]
+
+
+@dataclass(frozen=True)
+class SerialExecutor(Executor):
+    """Runs every experiment inline in the calling process."""
+
+    jobs: int = 1
+
+    def run_many(
+        self, configs: Iterable[ExperimentConfig]
+    ) -> List[ExperimentResult]:
+        return [run_experiment(config) for config in configs]
+
+
+@dataclass(frozen=True)
+class ParallelExecutor(Executor):
+    """Fans a batch out over a process pool.
+
+    ``jobs=0`` (the default) sizes the pool to the machine's CPU count.
+    Single-config batches (and ``jobs=1``) run inline -- there is
+    nothing to overlap, so the pool would be pure overhead.
+    """
+
+    jobs: int = 0
+
+    def run_many(
+        self, configs: Iterable[ExperimentConfig]
+    ) -> List[ExperimentResult]:
+        configs = list(configs)
+        jobs = self.jobs if self.jobs > 0 else (os.cpu_count() or 1)
+        workers = min(jobs, len(configs))
+        if workers <= 1:
+            return [run_experiment(config) for config in configs]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_experiment, configs))
+
+
+def make_executor(jobs: int = 1) -> Executor:
+    """``jobs <= 1`` -> :class:`SerialExecutor`; otherwise a pool of ``jobs``."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs)

@@ -9,6 +9,9 @@ quantity the paper's figures need.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -32,10 +35,23 @@ from repro.workloads.generator import ClosedLoopWorkload
 from repro.workloads.mapping import contiguous_mapping, page_interleaved_mapping
 from repro.workloads.profiles import get_profile
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment", "POLICY_NAMES"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "POLICY_NAMES",
+    "OBSERVABILITY_FIELDS",
+]
 
 #: Recognized management policies.
 POLICY_NAMES: Tuple[str, ...] = ("none", "unaware", "aware", "static")
+
+#: Config fields that only control what is *observed*, not what is
+#: simulated.  They are excluded from :meth:`ExperimentConfig.cache_key`
+#: so a run collected with extra observability can stand in for the
+#: plain run (and vice versa, subject to the sufficiency check in
+#: :class:`~repro.harness.sweep.SweepRunner`).
+OBSERVABILITY_FIELDS: Tuple[str, ...] = ("collect_link_hours",)
 
 
 @dataclass(frozen=True)
@@ -56,9 +72,14 @@ class ExperimentConfig:
     collect_link_hours: bool = False
 
     def __post_init__(self) -> None:
+        # Canonicalize mechanism case so "fp", "Fp", and "FP" are the
+        # same config (and hash to the same cache key) everywhere.
+        mechanism = self.mechanism.upper()
+        if mechanism != self.mechanism:
+            object.__setattr__(self, "mechanism", mechanism)
         if self.policy not in POLICY_NAMES:
             raise ValueError(f"unknown policy {self.policy!r}")
-        if self.mechanism.upper() not in MECHANISM_NAMES:
+        if mechanism not in MECHANISM_NAMES:
             raise ValueError(f"unknown mechanism {self.mechanism!r}")
         if self.scale not in ("small", "big"):
             raise ValueError(f"scale must be 'small' or 'big', got {self.scale!r}")
@@ -74,8 +95,36 @@ class ExperimentConfig:
         return _replace(self, **changes)
 
     def baseline(self) -> "ExperimentConfig":
-        """The matching full-power run (same traffic, no management)."""
-        return self.replace(mechanism="FP", policy="none", collect_link_hours=False)
+        """The matching full-power run (same traffic, no management).
+
+        ``alpha`` and ``wake_ns`` are reset to the class defaults: with
+        no policy there is no budget to apply and with no low-power
+        mechanism there is nothing to wake, so distinct values would
+        only split the cache key across identical simulations.
+        """
+        return self.replace(
+            mechanism="FP",
+            policy="none",
+            alpha=0.05,
+            wake_ns=14.0,
+            collect_link_hours=False,
+        )
+
+    def cache_key(self) -> str:
+        """Stable content hash of every simulation-affecting field.
+
+        The key is shared by the in-memory sweep cache and the on-disk
+        result cache so the same logical run is never simulated twice.
+        Observability-only fields (:data:`OBSERVABILITY_FIELDS`) are
+        excluded; field order does not matter (sorted before hashing).
+        """
+        payload = {
+            name: getattr(self, name)
+            for name in sorted(self.__dataclass_fields__)
+            if name not in OBSERVABILITY_FIELDS
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
 
 
 @dataclass
@@ -96,6 +145,11 @@ class ExperimentResult:
     violations: int = 0
     epochs: int = 0
     link_hours: Optional[Dict[Tuple[str, int], float]] = None
+    #: Run instrumentation: simulator events executed (deterministic)
+    #: and wall-clock seconds spent building + running the simulation
+    #: (machine-dependent; excluded from the flat result row).
+    events_processed: int = 0
+    wall_time_s: float = 0.0
 
     @property
     def power_per_hmc_w(self) -> float:
@@ -126,6 +180,7 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
     return an object with a ``start()`` method (used by the ablation
     benchmarks to run modified network-aware variants).
     """
+    start = time.perf_counter()
     profile = get_profile(config.workload)
     if config.mapping == "interleaved":
         mapping = page_interleaved_mapping(profile.footprint_gb, config.scale)
@@ -190,4 +245,6 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
         violations=getattr(policy, "violations", 0),
         epochs=getattr(policy, "epochs_run", 0),
         link_hours=collector.hours if collector is not None else None,
+        events_processed=sim.events_processed,
+        wall_time_s=time.perf_counter() - start,
     )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.experiment import ExperimentConfig
 from repro.harness.metrics import UTILIZATION_BUCKETS, performance_degradation
@@ -26,6 +26,8 @@ from repro.workloads.profiles import WORKLOAD_NAMES, get_profile
 
 __all__ = [
     "RunSettings",
+    "FIGURE_CONFIGS",
+    "figure_configs",
     "fig4_workload_cdfs",
     "fig5_power_breakdown",
     "fig6_modules_traversed",
@@ -493,3 +495,125 @@ def sec7_static_comparison(
 def _avg(values) -> float:
     values = list(values)
     return sum(values) / len(values) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# Config enumeration: every simulation a figure needs, up front
+# ----------------------------------------------------------------------
+# The figure functions above pull runs from the runner one at a time,
+# which serializes them even under a ParallelExecutor.  These
+# enumerators list each figure's full grid (duplicates are fine -- the
+# runner dedupes by cache key) so callers can batch-prefetch with
+# ``runner.run_all(figure_configs(name, settings))`` and then build the
+# figure entirely from cache.
+
+def _fp_grid(settings: RunSettings) -> List[ExperimentConfig]:
+    return [
+        _fp_config(settings, workload, topology, scale)
+        for scale in ("small", "big")
+        for topology in settings.topologies
+        for workload in settings.workloads
+    ]
+
+
+def _managed_grid(
+    settings: RunSettings,
+    policies: Sequence[str],
+    mechanisms: Sequence[str] = _UNAWARE_MECHS,
+    alphas: Sequence[float] = _ALPHAS,
+    wake_ns: float = 14.0,
+    with_baselines: bool = False,
+) -> List[ExperimentConfig]:
+    out: List[ExperimentConfig] = []
+    for scale in ("small", "big"):
+        for topology in settings.topologies:
+            for workload in settings.workloads:
+                for mechanism in mechanisms:
+                    for policy in policies:
+                        for alpha in alphas:
+                            cfg = _managed_config(
+                                settings, workload, topology, scale,
+                                mechanism, policy, alpha, wake_ns,
+                            )
+                            out.append(cfg)
+                            if with_baselines:
+                                out.append(cfg.baseline())
+    return out
+
+
+def _fig13_grid(settings: RunSettings) -> List[ExperimentConfig]:
+    return [
+        _managed_config(
+            settings, workload, topology, "big", "VWL", "unaware", 0.05
+        ).replace(collect_link_hours=True)
+        for topology in settings.topologies
+        for workload in settings.workloads
+    ]
+
+
+def _fig16_grid(settings: RunSettings) -> List[ExperimentConfig]:
+    out: List[ExperimentConfig] = []
+    for workload in settings.workloads:
+        for mechanism in _UNAWARE_MECHS:
+            for policy in ("unaware", "aware"):
+                for topology in settings.topologies:
+                    cfg = _managed_config(
+                        settings, workload, topology, "big", mechanism, policy, 0.05
+                    )
+                    out += [cfg, cfg.baseline()]
+    return out
+
+
+def _fig18_grid(settings: RunSettings) -> List[ExperimentConfig]:
+    out: List[ExperimentConfig] = []
+    for scale in ("small", "big"):
+        for mechanism, wake in (("DVFS", 14.0), ("ROO", 20.0), ("DVFS+ROO", 20.0)):
+            for policy in ("unaware", "aware"):
+                for topology in settings.topologies:
+                    for workload in settings.workloads:
+                        cfg = _managed_config(
+                            settings, workload, topology, scale,
+                            mechanism, policy, 0.05, wake,
+                        )
+                        out += [cfg, cfg.baseline()]
+    return out
+
+
+def _sec7_grid(settings: RunSettings) -> List[ExperimentConfig]:
+    out: List[ExperimentConfig] = []
+    for topology in settings.topologies:
+        for workload in settings.workloads:
+            static_cfg = settings.base_config(
+                workload=workload, topology=topology, scale="big",
+                mechanism="VWL", policy="static", mapping="interleaved",
+            )
+            aware_cfg = settings.base_config(
+                workload=workload, topology=topology, scale="big",
+                mechanism="VWL", policy="aware", alpha=0.30,
+            )
+            out += [static_cfg, static_cfg.baseline(), aware_cfg, aware_cfg.baseline()]
+    return out
+
+
+#: figure name -> callable(settings) listing every config it simulates.
+#: fig4 is absent (it needs no simulation).
+FIGURE_CONFIGS: Dict[str, Callable[[RunSettings], List[ExperimentConfig]]] = {
+    "fig5": _fp_grid,
+    "fig6": _fp_grid,
+    "fig8": _fp_grid,
+    "fig9": _fp_grid,
+    "fig11": lambda s: _fp_grid(s) + _managed_grid(s, ("unaware",)),
+    "fig12": lambda s: _managed_grid(s, ("unaware",), with_baselines=True),
+    "fig13": _fig13_grid,
+    "fig15": lambda s: _managed_grid(s, ("aware", "unaware")),
+    "fig16": _fig16_grid,
+    "fig17": lambda s: _managed_grid(s, ("aware", "unaware"), with_baselines=True),
+    "fig18": _fig18_grid,
+    "sec7": _sec7_grid,
+}
+
+
+def figure_configs(name: str, settings: RunSettings) -> List[ExperimentConfig]:
+    """All configs ``figure(name)`` will request (may contain aliases)."""
+    enumerate_fn = FIGURE_CONFIGS.get(name)
+    return list(enumerate_fn(settings)) if enumerate_fn is not None else []

@@ -7,6 +7,9 @@ file, run them reproducibly, and get machine-readable results out.
   round-trip of :class:`ExperimentConfig`;
 * :func:`result_to_dict` -- flatten an :class:`ExperimentResult` (power
   buckets inlined) for JSON/CSV;
+* :func:`result_to_cache_dict` / :func:`result_from_cache_dict` --
+  lossless round-trip of a full :class:`ExperimentResult` (used by the
+  persistent disk cache);
 * :func:`save_results_json` / :func:`save_results_csv` -- persist a
   result list;
 * :func:`load_batch` -- read a batch spec: either a JSON list of config
@@ -22,12 +25,14 @@ from dataclasses import asdict
 from typing import Dict, Iterable, List, Sequence
 
 from repro.harness.experiment import ExperimentConfig, ExperimentResult
-from repro.harness.sweep import grid_configs
+from repro.power.accounting import PowerBreakdown
 
 __all__ = [
     "config_to_dict",
     "config_from_dict",
     "result_to_dict",
+    "result_to_cache_dict",
+    "result_from_cache_dict",
     "save_results_json",
     "save_results_csv",
     "load_batch",
@@ -45,6 +50,7 @@ RESULT_FIELDS: Sequence[str] = (
     "throughput_per_s", "avg_read_latency_ns", "max_read_latency_ns",
     "channel_utilization", "link_utilization", "avg_modules_traversed",
     "completed_reads", "completed_writes", "epochs", "violations",
+    "events_processed",
 )
 
 
@@ -95,7 +101,64 @@ def result_to_dict(result: ExperimentResult) -> Dict:
         "completed_writes": result.completed_writes,
         "epochs": result.epochs,
         "violations": result.violations,
+        "events_processed": result.events_processed,
     }
+
+
+#: Scalar ExperimentResult fields copied verbatim by the cache round-trip.
+_CACHE_SCALARS: Sequence[str] = (
+    "num_modules",
+    "throughput_per_s",
+    "avg_read_latency_ns",
+    "max_read_latency_ns",
+    "channel_utilization",
+    "link_utilization",
+    "avg_modules_traversed",
+    "completed_reads",
+    "completed_writes",
+    "violations",
+    "epochs",
+    "events_processed",
+    "wall_time_s",
+)
+
+
+def result_to_cache_dict(result: ExperimentResult) -> Dict:
+    """Full, lossless ExperimentResult -> plain dict (JSON-safe).
+
+    Unlike :func:`result_to_dict` (a flat row for CSV/analysis), this
+    keeps everything needed to reconstruct the object: the complete
+    config, the power-bucket dict, and link-hours (tuple keys encoded
+    as ``[label, width, hours]`` triples).
+    """
+    out = {
+        "config": config_to_dict(result.config),
+        "watts": dict(result.breakdown.watts),
+        "link_hours": (
+            None
+            if result.link_hours is None
+            else [[label, width, hours]
+                  for (label, width), hours in sorted(result.link_hours.items())]
+        ),
+    }
+    for name in _CACHE_SCALARS:
+        out[name] = getattr(result, name)
+    return out
+
+
+def result_from_cache_dict(data: Dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_cache_dict`."""
+    link_hours = None
+    if data.get("link_hours") is not None:
+        link_hours = {
+            (label, int(width)): hours for label, width, hours in data["link_hours"]
+        }
+    return ExperimentResult(
+        config=config_from_dict(data["config"]),
+        breakdown=PowerBreakdown(watts=dict(data["watts"])),
+        link_hours=link_hours,
+        **{name: data[name] for name in _CACHE_SCALARS},
+    )
 
 
 def save_results_json(path: str, results: Iterable[ExperimentResult]) -> int:
@@ -130,6 +193,8 @@ def load_batch(path: str) -> List[ExperimentConfig]:
             "mechanism": ["VWL", "ROO"],
             "alpha": [0.025, 0.05] } }
     """
+    from repro.harness.sweep import grid_configs
+
     with open(path) as fh:
         spec = json.load(fh)
     if isinstance(spec, list):

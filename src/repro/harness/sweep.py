@@ -1,10 +1,21 @@
-"""Parameter sweeps with result caching.
+"""Parameter sweeps with layered result caching and pluggable execution.
 
 The paper's figures reuse the same runs heavily (every managed run is
 compared against the matching full-power baseline; Figure 15 compares
 aware against unaware on identical grids).  :class:`SweepRunner` caches
-:class:`ExperimentResult` objects by config so shared points simulate
-once per process.
+:class:`ExperimentResult` objects by
+:meth:`~repro.harness.experiment.ExperimentConfig.cache_key` in two
+layers -- an in-process dict and an optional persistent
+:class:`~repro.harness.diskcache.DiskCache` shared across invocations --
+and delegates cache misses to an
+:class:`~repro.harness.executor.Executor` (serial by default; pass a
+:class:`~repro.harness.executor.ParallelExecutor` to fan batches out
+over a process pool).
+
+Because the cache key excludes observability-only fields, a run
+collected with link-hours can stand in for the plain run; the converse
+is handled by :meth:`SweepRunner.run` re-simulating when the caller
+asked for link-hours a cached result does not carry.
 """
 
 from __future__ import annotations
@@ -13,7 +24,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.diskcache import DiskCache
+from repro.harness.executor import Executor, SerialExecutor
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
 from repro.harness.metrics import performance_degradation
 
 __all__ = ["SweepRunner", "grid_configs"]
@@ -49,20 +62,89 @@ def grid_configs(
 
 @dataclass
 class SweepRunner:
-    """Runs experiments, memoizing results by config."""
+    """Runs experiments, memoizing results by config cache key.
 
-    cache: Dict[ExperimentConfig, ExperimentResult] = field(default_factory=dict)
+    Counters: ``runs`` counts actual simulations; ``memory_hits`` /
+    ``disk_hits`` count lookups served by each cache layer;
+    ``sim_wall_time_s`` accumulates the wall time of the simulations
+    this runner executed (not of cache hits).
+    """
+
+    executor: Executor = field(default_factory=SerialExecutor)
+    disk_cache: Optional[DiskCache] = None
+    cache: Dict[str, ExperimentResult] = field(default_factory=dict)
     runs: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    sim_wall_time_s: float = 0.0
+
+    @staticmethod
+    def _satisfies(result: ExperimentResult, config: ExperimentConfig) -> bool:
+        """Does a cached result carry everything ``config`` asked for?
+
+        The cache key only covers simulation-affecting fields, so a hit
+        may have been collected with different observability flags; a
+        result without link-hours cannot serve a caller that wants them.
+        """
+        return result.link_hours is not None or not config.collect_link_hours
+
+    def _store(self, config: ExperimentConfig, result: ExperimentResult) -> None:
+        self.cache[config.cache_key()] = result
+        if self.disk_cache is not None:
+            self.disk_cache.put(config, result)
+        self.runs += 1
+        self.sim_wall_time_s += result.wall_time_s
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         """Run (or fetch) one experiment."""
-        if config not in self.cache:
-            self.cache[config] = run_experiment(config)
-            self.runs += 1
-        return self.cache[config]
+        key = config.cache_key()
+        result = self.cache.get(key)
+        if result is not None and self._satisfies(result, config):
+            self.memory_hits += 1
+            return result
+        if self.disk_cache is not None:
+            result = self.disk_cache.get(config)
+            if result is not None and self._satisfies(result, config):
+                self.disk_hits += 1
+                self.cache[key] = result
+                return result
+        result = self.executor.run(config)
+        self._store(config, result)
+        return result
 
     def run_all(self, configs: Iterable[ExperimentConfig]) -> List[ExperimentResult]:
-        """Run every config, in order."""
+        """Run every config; returns results in input order.
+
+        Cache misses are deduplicated by cache key and handed to the
+        executor as one batch, so a :class:`ParallelExecutor` overlaps
+        them across worker processes.
+        """
+        configs = list(configs)
+        pending: Dict[str, ExperimentConfig] = {}
+        for config in configs:
+            key = config.cache_key()
+            cached = self.cache.get(key)
+            if cached is not None and self._satisfies(cached, config):
+                continue
+            previous = pending.get(key)
+            # When two requests alias to one simulation, run the one
+            # with the richer observability so it satisfies both.
+            if previous is None or (
+                config.collect_link_hours and not previous.collect_link_hours
+            ):
+                pending[key] = config
+        missing: List[ExperimentConfig] = []
+        for config in pending.values():
+            if self.disk_cache is not None:
+                result = self.disk_cache.get(config)
+                if result is not None and self._satisfies(result, config):
+                    self.disk_hits += 1
+                    self.cache[config.cache_key()] = result
+                    continue
+            missing.append(config)
+        if missing:
+            for config, result in zip(missing, self.executor.run_many(missing)):
+                self._store(config, result)
         return [self.run(c) for c in configs]
 
     # ------------------------------------------------------------------

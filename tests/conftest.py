@@ -1,0 +1,15 @@
+"""Keep the unit-test suite hermetic: never touch the user's real cache.
+
+The CLI and benchmark fixtures default the persistent result cache to
+``~/.cache/repro-mnet``; pointing ``REPRO_CACHE_DIR`` at a per-session
+temporary directory keeps tests from reading (or polluting) it.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path_factory, monkeypatch):
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.getbasetemp() / "repro-cache")
+    )

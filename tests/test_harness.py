@@ -53,6 +53,17 @@ class TestConfigValidation:
         assert base.workload == cfg.workload
         assert base.window_ns == cfg.window_ns
 
+    def test_mechanism_case_canonicalized(self):
+        cfg = ExperimentConfig(workload="lu.D", mechanism="vwl+roo")
+        assert cfg.mechanism == "VWL+ROO"
+        assert cfg == ExperimentConfig(workload="lu.D", mechanism="VWL+ROO")
+        assert hash(cfg) == hash(ExperimentConfig(workload="lu.D", mechanism="VWL+ROO"))
+
+    def test_cache_key_ignores_observability(self):
+        cfg = ExperimentConfig(workload="lu.D", mechanism="VWL", policy="unaware")
+        assert cfg.cache_key() == cfg.replace(collect_link_hours=True).cache_key()
+        assert cfg.cache_key() != cfg.replace(alpha=0.1).cache_key()
+
     def test_config_hashable(self):
         a = ExperimentConfig(workload="lu.D")
         b = ExperimentConfig(workload="lu.D")

@@ -11,6 +11,8 @@ from repro.harness.io import (
     config_from_dict,
     config_to_dict,
     load_batch,
+    result_from_cache_dict,
+    result_to_cache_dict,
     result_to_dict,
     save_results_csv,
     save_results_json,
@@ -49,6 +51,11 @@ class TestResultFlattening:
         row = result_to_dict(result)
         assert set(row) == set(RESULT_FIELDS)
 
+    def test_result_fields_drift_guard(self, result):
+        # RESULT_FIELDS is the CSV header contract: it must match the
+        # keys result_to_dict emits, in order, with no strays either way.
+        assert list(result_to_dict(result)) == list(RESULT_FIELDS)
+
     def test_values_consistent(self, result):
         row = result_to_dict(result)
         assert row["num_modules"] == result.num_modules
@@ -60,6 +67,23 @@ class TestResultFlattening:
             + row["logic_dyn_w"] + row["dram_leak_w"] + row["dram_dyn_w"]
         )
         assert buckets == pytest.approx(row["power_per_hmc_w"])
+
+
+class TestCacheDictRoundtrip:
+    def test_roundtrip_is_lossless(self, result):
+        data = json.loads(json.dumps(result_to_cache_dict(result)))
+        assert result_from_cache_dict(data) == result
+
+    def test_link_hours_tuple_keys_roundtrip(self):
+        rich = run_experiment(
+            ExperimentConfig(
+                workload="sp.D", mechanism="VWL", policy="unaware",
+                collect_link_hours=True, **FAST,
+            )
+        )
+        assert rich.link_hours  # tuple-keyed dict, not JSON-safe as-is
+        data = json.loads(json.dumps(result_to_cache_dict(rich)))
+        assert result_from_cache_dict(data).link_hours == rich.link_hours
 
 
 class TestPersistence:

@@ -8,18 +8,25 @@ from repro.harness.io import config_from_dict, config_to_dict
 from repro.workloads.profiles import WORKLOAD_NAMES
 from repro.workloads.traces import TraceRecord
 
+_MECHANISMS = ["FP", "VWL", "ROO", "DVFS", "VWL+ROO", "DVFS+ROO"]
+
 config_strategy = st.builds(
     ExperimentConfig,
     workload=st.sampled_from(WORKLOAD_NAMES),
     topology=st.sampled_from(["daisychain", "ternary_tree", "star", "ddrx_like", "box"]),
     scale=st.sampled_from(["small", "big"]),
-    mechanism=st.sampled_from(["FP", "VWL", "ROO", "DVFS", "VWL+ROO", "DVFS+ROO"]),
+    # Mixed-case spellings must canonicalize, not fork the config space.
+    mechanism=st.sampled_from(_MECHANISMS).flatmap(
+        lambda m: st.sampled_from([m, m.lower(), m.capitalize()])
+    ),
     policy=st.sampled_from(["none", "unaware", "aware", "static"]),
     alpha=st.floats(min_value=0.0, max_value=0.5),
     window_ns=st.floats(min_value=1.0, max_value=1e7),
+    epoch_ns=st.floats(min_value=1_000.0, max_value=100_000.0),
     seed=st.integers(min_value=0, max_value=2**31),
     wake_ns=st.sampled_from([14.0, 20.0]),
     mapping=st.sampled_from(["contiguous", "interleaved"]),
+    collect_link_hours=st.booleans(),
 )
 
 
@@ -27,6 +34,27 @@ config_strategy = st.builds(
 @given(config=config_strategy)
 def test_config_roundtrip_property(config):
     assert config_from_dict(config_to_dict(config)) == config
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=config_strategy)
+def test_mechanism_canonicalized_property(config):
+    assert config.mechanism == config.mechanism.upper()
+    assert config == config.replace(mechanism=config.mechanism.lower())
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=config_strategy)
+def test_cache_key_property(config):
+    key = config.cache_key()
+    # Stable and insensitive to observability flags...
+    assert key == config.cache_key()
+    assert key == config.replace(
+        collect_link_hours=not config.collect_link_hours
+    ).cache_key()
+    # ...but sensitive to any simulation-affecting change.
+    assert key != config.replace(seed=config.seed + 1).cache_key()
+    assert key != config.replace(window_ns=config.window_ns + 1.0).cache_key()
 
 
 @settings(max_examples=60, deadline=None)
