@@ -1,0 +1,1 @@
+"""Maintenance scripts (result summarization, docs link checking)."""

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Check that intra-repo Markdown links resolve to real files.
+
+Scans every tracked ``*.md`` file for inline links and flags relative
+targets that do not exist (anchors and external ``http(s)``/``mailto``
+links are ignored). Used by ``tests/test_docs_and_examples.py`` and the
+CI docs job::
+
+    python scripts/check_docs_links.py          # exit 1 on broken links
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+#: Inline Markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Directories that hold generated or third-party content.
+_SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", "results", ".venv"}
+
+
+def _markdown_files(repo: pathlib.Path) -> List[pathlib.Path]:
+    out = []
+    for path in repo.rglob("*.md"):
+        if not _SKIP_DIRS.intersection(p.name for p in path.parents):
+            out.append(path)
+    return sorted(out)
+
+
+def broken_links(repo: pathlib.Path) -> List[Tuple[str, str]]:
+    """All broken intra-repo links as ``(markdown file, target)`` pairs."""
+    broken: List[Tuple[str, str]] = []
+    for md in _markdown_files(repo):
+        for target in _LINK.findall(md.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append((str(md.relative_to(repo)), target))
+    return broken
+
+
+def main() -> int:
+    """CLI entry point; prints broken links and returns the exit code."""
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    broken = broken_links(repo)
+    for src, target in broken:
+        print(f"{src}: broken link -> {target}")
+    if broken:
+        print(f"{len(broken)} broken intra-repo link(s)", file=sys.stderr)
+        return 1
+    print(f"all intra-repo links resolve across "
+          f"{len(_markdown_files(repo))} Markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

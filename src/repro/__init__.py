@@ -53,7 +53,7 @@ from repro.power import DEFAULT_POWER_MODEL, HmcPowerModel, PowerBreakdown
 from repro.sim import Simulator
 from repro.workloads import WORKLOAD_NAMES, ClosedLoopWorkload, get_profile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

@@ -4,7 +4,9 @@ Subcommands::
 
     repro-mnet list                      # workloads / topologies / mechanisms
     repro-mnet run --workload mixB ...   # one experiment, printed summary
+    repro-mnet run --trace out.jsonl ... # same, plus a structured event trace
     repro-mnet figure fig5 [--full]      # regenerate a paper artifact
+    repro-mnet trace out.jsonl --kind events   # event trace + printed summary
 
 The ``figure`` subcommand accepts: fig4, fig5, fig6, fig8, fig9, fig11,
 fig12, fig13, fig15, fig16, fig17, fig18, sec7.
@@ -28,6 +30,7 @@ from repro.harness.experiment import ExperimentConfig, POLICY_NAMES
 from repro.harness import figures as F
 from repro.harness.report import format_table
 from repro.harness.sweep import SweepRunner
+from repro.obs import ALL_CATEGORIES, TRACE_FORMATS
 from repro.network.topology import TOPOLOGY_BUILDERS, TOPOLOGY_NAMES
 from repro.workloads import WORKLOAD_NAMES, get_profile
 
@@ -49,9 +52,10 @@ def _print_run_stats(runner: SweepRunner) -> None:
     disk_part = (
         f", {runner.disk_hits} disk hits" if disk is not None else ", disk cache off"
     )
+    traced_part = f", {runner.traced_runs} traced" if runner.traced_runs else ""
     print(
         f"# {runner.runs} simulated ({runner.sim_wall_time_s:.1f}s sim time), "
-        f"{runner.memory_hits} memory hits{disk_part}",
+        f"{runner.memory_hits} memory hits{disk_part}{traced_part}",
         file=sys.stderr,
     )
 
@@ -87,6 +91,10 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         wake_ns=args.wake_ns,
         mapping=args.mapping,
+        trace_path=args.trace,
+        trace_format=args.trace_format,
+        trace_categories=args.trace_categories,
+        metrics_path=args.metrics_out,
     )
     runner = _make_runner(args)
     result = runner.run(config)
@@ -118,6 +126,11 @@ def _cmd_run(args) -> int:
         deg = 1 - result.throughput_per_s / base.throughput_per_s
         print()
         print(f"vs full power: {saved:+.1%} network power, {deg:+.2%} throughput cost")
+    if args.trace:
+        print(f"Wrote {result.trace_events} trace events to {args.trace} "
+              f"({config.trace_format})")
+    if args.metrics_out:
+        print(f"Wrote per-epoch metrics to {args.metrics_out}")
     _print_run_stats(runner)
     return 0
 
@@ -214,6 +227,20 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["contiguous", "interleaved"])
     run_p.add_argument("--baseline", action="store_true",
                        help="also run the full-power baseline and compare")
+    obs_group = run_p.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a structured event trace (see docs/observability.md)")
+    obs_group.add_argument(
+        "--trace-format", default="jsonl", choices=list(TRACE_FORMATS),
+        help="trace file format (default: jsonl)")
+    obs_group.add_argument(
+        "--trace-categories", default="", metavar="CATS",
+        help="comma list of categories, or 'all' "
+             f"(default: link,epoch; known: {','.join(ALL_CATEGORIES)})")
+    obs_group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write per-epoch aggregated metrics as JSON")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper artifact",
                            parents=[exec_flags])
@@ -242,14 +269,29 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--out-json", help="write results as JSON")
     batch_p.add_argument("--out-csv", help="write results as CSV")
 
-    trace_p = sub.add_parser("trace", help="record a workload trace to a file")
-    trace_p.add_argument("path", help="output file (.gz for compression)")
+    trace_p = sub.add_parser(
+        "trace", help="record a workload access trace or a structured event trace")
+    trace_p.add_argument("path", help="output file (.gz for access-trace compression)")
+    trace_p.add_argument(
+        "--kind", default="accesses", choices=["accesses", "events"],
+        help="'accesses': per-access workload trace (full-power network); "
+             "'events': structured simulation events "
+             "(see docs/observability.md)")
     trace_p.add_argument("--workload", default="mixB", choices=WORKLOAD_NAMES)
     trace_p.add_argument("--topology", default="daisychain",
                          choices=sorted(TOPOLOGY_BUILDERS))
     trace_p.add_argument("--scale", default="small", choices=["small", "big"])
     trace_p.add_argument("--window-us", type=float, default=200.0)
     trace_p.add_argument("--seed", type=int, default=1)
+    ev_group = trace_p.add_argument_group("event traces (--kind events)")
+    ev_group.add_argument("--mechanism", default="VWL+ROO", choices=MECHANISM_NAMES)
+    ev_group.add_argument("--policy", default="aware", choices=POLICY_NAMES)
+    ev_group.add_argument("--alpha", type=float, default=0.05)
+    ev_group.add_argument("--epoch-us", type=float, default=25.0)
+    ev_group.add_argument("--format", default="jsonl", choices=list(TRACE_FORMATS))
+    ev_group.add_argument(
+        "--categories", default="", metavar="CATS",
+        help="comma list of trace categories, or 'all' (default: link,epoch)")
 
     return parser
 
@@ -294,6 +336,8 @@ def _cmd_sweep_alpha(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if args.kind == "events":
+        return _cmd_trace_events(args)
     from repro.core.mechanisms import make_mechanism
     from repro.network.network import MemoryNetwork
     from repro.network.topology import build_topology
@@ -316,6 +360,32 @@ def _cmd_trace(args) -> int:
     count = save_trace(args.path, recorder.records)
     print(f"Wrote {count} accesses ({network.injected_reads} reads, "
           f"{network.injected_writes} writes) to {args.path}")
+    return 0
+
+
+def _cmd_trace_events(args) -> int:
+    from repro.harness.experiment import run_experiment
+    from repro.obs import format_trace_summary, read_jsonl
+
+    config = ExperimentConfig(
+        workload=args.workload,
+        topology=args.topology,
+        scale=args.scale,
+        mechanism=args.mechanism,
+        policy=args.policy,
+        alpha=args.alpha,
+        window_ns=args.window_us * 1000.0,
+        epoch_ns=args.epoch_us * 1000.0,
+        seed=args.seed,
+        trace_path=args.path,
+        trace_format=args.format,
+        trace_categories=args.categories,
+    )
+    result = run_experiment(config)
+    print(f"Wrote {result.trace_events} events to {args.path} ({args.format})")
+    if args.format == "jsonl":
+        print()
+        print(format_trace_summary(read_jsonl(args.path)))
     return 0
 
 

@@ -115,19 +115,47 @@ class NetworkAwarePolicy(ManagementPolicy):
     # Epoch boundary
     # ------------------------------------------------------------------
     def _assign_budgets(self) -> Dict[LinkController, tuple]:
+        trace = self.trace
         network_fel, network_overhead = self._discounted_epoch_totals()
         self.account.record_epoch(network_fel, network_fel + network_overhead)
         budget = self.account.ams(self.alpha)
+        if trace is not None:
+            trace.emit(
+                self.sim.now,
+                "epoch",
+                "isp.epoch",
+                fel=network_fel,
+                overhead=network_overhead,
+                budget=budget,
+            )
 
         self._prepare_isp()
-        for _ in range(self.isp_iterations):
+        for iteration in range(self.isp_iterations):
             self._gather()
             unused = self._unused(budget)
+            if trace is not None:
+                trace.emit(
+                    self.sim.now,
+                    "epoch",
+                    "isp.round",
+                    round=iteration,
+                    pool_req=unused[LinkDir.REQUEST],
+                    pool_resp=unused[LinkDir.RESPONSE],
+                )
             self._scatter(unused)
         self._gather()
         leftover = max(0.0, self._unused_total(budget))
         self._grant_pool = leftover if self.enable_grant_pool else 0.0
         self._grant_unit = self._grant_pool * self.GRANT_FRACTION
+        if trace is not None:
+            trace.emit(
+                self.sim.now,
+                "epoch",
+                "isp.leftover",
+                leftover=leftover,
+                pool=self._grant_pool,
+                grant_unit=self._grant_unit,
+            )
 
         assignments: Dict[LinkController, tuple] = {}
         for link in self.network.all_links():
@@ -159,7 +187,19 @@ class NetworkAwarePolicy(ManagementPolicy):
                     if resp.ep_resp_packets
                     else 0.0
                 )
-                down -= min(down * qf, resp.ep_qd)
+                discounted = down - min(down * qf, resp.ep_qd)
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.sim.now,
+                        "epoch",
+                        "isp.discount",
+                        module=m,
+                        qf=qf,
+                        qd=resp.ep_qd,
+                        raw=down,
+                        discounted=discounted,
+                    )
+                down = discounted
             contribution[m] = own[m] + down
         return total_fel, contribution[0]
 
@@ -308,5 +348,14 @@ class NetworkAwarePolicy(ManagementPolicy):
             link.grants_used += 1
             link.ams += grant
             self.grants_issued += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "epoch",
+                    "isp.grant",
+                    link=link.name,
+                    grant=grant,
+                    pool_left=self._grant_pool,
+                )
             return
         link.force_full_power(self.sim.now)

@@ -98,6 +98,9 @@ class ManagementPolicy:
         #: boundary *before* counters reset -- used by the harness to
         #: collect per-epoch link statistics (e.g. Figure 13 link-hours).
         self.epoch_observer: Optional[callable] = None
+        #: Optional :class:`repro.obs.Tracer` for ``epoch`` events;
+        #: installed by :func:`repro.obs.install_tracer`.
+        self.trace = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -112,11 +115,31 @@ class ManagementPolicy:
 
     def _epoch_tick(self) -> None:
         now = self.sim.now
+        trace = self.trace
+        if trace is not None:
+            trace.emit(
+                now,
+                "epoch",
+                "epoch.boundary",
+                index=self.epochs_run,
+                policy=type(self).__name__,
+                violations=self.violations,
+            )
         if self.epoch_observer is not None:
             self.epoch_observer(self.network.all_links(), self.epoch_ns)
         assignments = self._assign_budgets()
         for link in self.network.all_links():
             budget, state = assignments.get(link, (0.0, None))
+            if trace is not None and state is not None:
+                trace.emit(
+                    now,
+                    "epoch",
+                    "ams.link",
+                    link=link.name,
+                    ams=budget,
+                    width=state.width_index,
+                    roo=state.roo_index,
+                )
             link.reset_epoch(now)
             link.ams = budget
             if state is not None:

@@ -51,6 +51,16 @@ class NetworkUnawarePolicy(ManagementPolicy):
             fel, ael = module_fel_ael(module, self.dram_read_latency_ns)
             account.record_epoch(fel, ael)
             module_ams = account.ams(self.alpha)
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "epoch",
+                    "ams.module",
+                    module=module.module_id,
+                    fel=fel,
+                    ael=ael,
+                    ams=module_ams,
+                )
             links = module.connectivity_links()
             share = module_ams / len(links) if links else 0.0
             for link in links:

@@ -56,6 +56,7 @@ class Vault:
         "_queue_free",
         "_open_rows",
         "busy_ns",
+        "bank_busy_ns",
         "reads",
         "writes",
         "row_hits",
@@ -72,6 +73,10 @@ class Vault:
         #: Open row per bank (open-page policy only).
         self._open_rows: List[Optional[int]] = [None] * timing.banks_per_vault
         self.busy_ns: float = 0.0
+        #: Per-bank occupied time (activate start to bank free) -- the
+        #: bank state residency behind the observability layer's
+        #: ``dram`` events and :meth:`bank_residency`.
+        self.bank_busy_ns: List[float] = [0.0] * timing.banks_per_vault
         self.reads: int = 0
         self.writes: int = 0
         self.row_hits: int = 0
@@ -98,6 +103,7 @@ class Vault:
         else:
             access = self._access_close(start_earliest, bank, is_read)
         self.busy_ns += t.burst_ns
+        self.bank_busy_ns[bank] += access.done - access.start
         self._queue_free.append(access.done)
         if is_read:
             self.reads += 1
@@ -158,6 +164,16 @@ class Vault:
         """Total accesses serviced."""
         return self.reads + self.writes
 
+    def bank_residency(self, window_ns: float) -> List[float]:
+        """Per-bank occupied fraction of ``window_ns`` (capped at 1.0).
+
+        Occupancy counts activate-to-precharge-done time, so under the
+        close-page policy it reflects full row cycles, not just bursts.
+        """
+        if window_ns <= 0:
+            return [0.0] * len(self.bank_busy_ns)
+        return [min(1.0, b / window_ns) for b in self.bank_busy_ns]
+
 
 class VaultSet:
     """The 32 vaults of one HMC plus the line-interleaved address map."""
@@ -207,3 +223,10 @@ class VaultSet:
             return 0.0
         total = sum(v.busy_ns for v in self.vaults)
         return min(1.0, total / (len(self.vaults) * window_ns))
+
+    def bank_residency(self, window_ns: float) -> float:
+        """Mean bank-occupied fraction across every bank of every vault."""
+        if window_ns <= 0:
+            return 0.0
+        fracs = [f for v in self.vaults for f in v.bank_residency(window_ns)]
+        return sum(fracs) / len(fracs) if fracs else 0.0

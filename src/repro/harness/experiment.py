@@ -51,7 +51,13 @@ POLICY_NAMES: Tuple[str, ...] = ("none", "unaware", "aware", "static")
 #: so a run collected with extra observability can stand in for the
 #: plain run (and vice versa, subject to the sufficiency check in
 #: :class:`~repro.harness.sweep.SweepRunner`).
-OBSERVABILITY_FIELDS: Tuple[str, ...] = ("collect_link_hours",)
+OBSERVABILITY_FIELDS: Tuple[str, ...] = (
+    "collect_link_hours",
+    "trace_path",
+    "trace_format",
+    "trace_categories",
+    "metrics_path",
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,14 @@ class ExperimentConfig:
     wake_ns: float = 14.0
     mapping: str = "contiguous"
     collect_link_hours: bool = False
+    #: Observability (excluded from :meth:`cache_key`): structured trace
+    #: destination/format/categories and per-epoch metrics JSON path.
+    #: ``trace_categories`` is a comma list (see
+    #: :func:`repro.obs.parse_categories`); empty string means defaults.
+    trace_path: Optional[str] = None
+    trace_format: str = "jsonl"
+    trace_categories: str = ""
+    metrics_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Canonicalize mechanism case so "fp", "Fp", and "FP" are the
@@ -87,6 +101,15 @@ class ExperimentConfig:
             raise ValueError(f"unknown mapping {self.mapping!r}")
         if self.window_ns <= 0:
             raise ValueError("window must be positive")
+        from repro.obs import TRACE_FORMATS, parse_categories
+
+        if self.trace_format not in TRACE_FORMATS:
+            raise ValueError(
+                f"unknown trace format {self.trace_format!r}; "
+                f"expected one of {TRACE_FORMATS}"
+            )
+        # Fail fast on bad category specs even when tracing is off.
+        parse_categories(self.trace_categories or None)
 
     def replace(self, **changes) -> "ExperimentConfig":
         """A copy of this config with the given fields replaced."""
@@ -108,6 +131,8 @@ class ExperimentConfig:
             alpha=0.05,
             wake_ns=14.0,
             collect_link_hours=False,
+            trace_path=None,
+            metrics_path=None,
         )
 
     def cache_key(self) -> str:
@@ -144,6 +169,8 @@ class ExperimentResult:
     completed_writes: int
     violations: int = 0
     epochs: int = 0
+    #: Structured trace events emitted (0 when tracing is disabled).
+    trace_events: int = 0
     link_hours: Optional[Dict[Tuple[str, int], float]] = None
     #: Run instrumentation: simulator events executed (deterministic)
     #: and wall-clock seconds spent building + running the simulation
@@ -208,11 +235,58 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
         policy = NetworkAwarePolicy(network, config.alpha, config.epoch_ns)
     elif config.policy == "static":
         policy = StaticBaselinePolicy(network)
+    observers = []
     if config.collect_link_hours and isinstance(
         policy, (NetworkUnawarePolicy, NetworkAwarePolicy)
     ):
         collector = LinkHourCollector()
-        policy.epoch_observer = collector
+        observers.append(collector)
+
+    tracer = None
+    registry = None
+    if config.trace_path is not None or config.metrics_path is not None:
+        from repro.obs import (
+            EpochLinkMetrics,
+            MetricsRegistry,
+            Tracer,
+            install_tracer,
+            make_sink,
+            parse_categories,
+        )
+
+        if config.trace_path is not None:
+            tracer = Tracer(
+                make_sink(config.trace_path, config.trace_format),
+                parse_categories(config.trace_categories or None),
+            )
+            tracer.emit(
+                0.0,
+                "meta",
+                "trace.begin",
+                workload=config.workload,
+                topology=config.topology,
+                mechanism=config.mechanism,
+                policy=config.policy,
+                alpha=config.alpha,
+                window_ns=config.window_ns,
+                epoch_ns=config.epoch_ns,
+                seed=config.seed,
+                modules=topology.num_modules,
+            )
+            install_tracer(tracer, sim=sim, network=network, policy=policy)
+        if config.metrics_path is not None:
+            registry = MetricsRegistry()
+            observers.append(EpochLinkMetrics(registry, sim))
+
+    if observers and policy is not None:
+        if len(observers) == 1:
+            policy.epoch_observer = observers[0]
+        else:
+            def _fanout(links, epoch_ns, _obs=tuple(observers)):
+                for ob in _obs:
+                    ob(links, epoch_ns)
+
+            policy.epoch_observer = _fanout
 
     workload = ClosedLoopWorkload(
         network, profile, stop_ns=config.window_ns, seed=config.seed
@@ -224,6 +298,20 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
     workload.start()
     sim.run(until=config.window_ns)
     network.finalize(config.window_ns)
+
+    trace_events = 0
+    if tracer is not None:
+        tracer.emit(
+            config.window_ns,
+            "meta",
+            "trace.end",
+            events=tracer.events_emitted,
+            sim_events=sim.events_processed,
+        )
+        trace_events = tracer.events_emitted
+        tracer.close()
+    if registry is not None:
+        registry.write_json(config.metrics_path)
 
     breakdown = PowerBreakdown.from_ledgers(
         (m.ledger for m in network.modules),
@@ -244,6 +332,7 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
         completed_writes=network.completed_writes,
         violations=getattr(policy, "violations", 0),
         epochs=getattr(policy, "epochs_run", 0),
+        trace_events=trace_events,
         link_hours=collector.hours if collector is not None else None,
         events_processed=sim.events_processed,
         wall_time_s=time.perf_counter() - start,

@@ -118,6 +118,7 @@ _CACHE_SCALARS: Sequence[str] = (
     "completed_writes",
     "violations",
     "epochs",
+    "trace_events",
     "events_processed",
     "wall_time_s",
 )

@@ -15,7 +15,9 @@ over a process pool).
 Because the cache key excludes observability-only fields, a run
 collected with link-hours can stand in for the plain run; the converse
 is handled by :meth:`SweepRunner.run` re-simulating when the caller
-asked for link-hours a cached result does not carry.
+asked for link-hours a cached result does not carry.  Configs with a
+``trace_path`` or ``metrics_path`` always re-simulate: their value is
+the side-effect file, which no cached result can produce.
 """
 
 from __future__ import annotations
@@ -76,7 +78,13 @@ class SweepRunner:
     runs: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    traced_runs: int = 0
     sim_wall_time_s: float = 0.0
+
+    @staticmethod
+    def _traced(config: ExperimentConfig) -> bool:
+        """Does this config produce trace/metrics files as a side effect?"""
+        return config.trace_path is not None or config.metrics_path is not None
 
     @staticmethod
     def _satisfies(result: ExperimentResult, config: ExperimentConfig) -> bool:
@@ -96,8 +104,19 @@ class SweepRunner:
         self.sim_wall_time_s += result.wall_time_s
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
-        """Run (or fetch) one experiment."""
+        """Run (or fetch) one experiment.
+
+        Traced configs (``trace_path``/``metrics_path`` set) bypass both
+        cache lookups -- the caller wants the trace file written, and
+        only an actual simulation writes it -- but the result is still
+        stored so subsequent untraced runs hit the cache.
+        """
         key = config.cache_key()
+        if self._traced(config):
+            result = self.executor.run(config)
+            self._store(config, result)
+            self.traced_runs += 1
+            return result
         result = self.cache.get(key)
         if result is not None and self._satisfies(result, config):
             self.memory_hits += 1
@@ -122,6 +141,11 @@ class SweepRunner:
         configs = list(configs)
         pending: Dict[str, ExperimentConfig] = {}
         for config in configs:
+            if self._traced(config):
+                # Traced configs must re-simulate; the final self.run()
+                # pass handles them (exactly once each) so they never
+                # alias an untraced request to one simulation here.
+                continue
             key = config.cache_key()
             cached = self.cache.get(key)
             if cached is not None and self._satisfies(cached, config):

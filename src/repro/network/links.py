@@ -124,6 +124,10 @@ class LinkController:
         "isp_sel",
         # energy split
         "_ep_start",
+        # observability (None unless the "link" trace category is on)
+        "trace",
+        "_tr_state",
+        "_tr_start",
         # cached mode parameter tables (hot path)
         "_flit_times",
         "_serdes_times",
@@ -218,6 +222,11 @@ class LinkController:
         self.isp_dsrc = 0
         self.isp_sel = LinkModeState(0, self.roo_idx)
         self._ep_start = 0.0
+        #: Optional :class:`repro.obs.Tracer`; installed by
+        #: :func:`repro.obs.install_tracer` when link tracing is on.
+        self.trace = None
+        self._tr_state = "w0"
+        self._tr_start = 0.0
         self._flit_times = tuple(m.flit_time_ns() for m in mech.width_modes)
         self._serdes_times = tuple(m.serdes_ns for m in mech.width_modes)
         self._power_fracs = tuple(m.power_fraction for m in mech.width_modes)
@@ -288,6 +297,45 @@ class LinkController:
             self.mode_time_ns[self.width_idx] += dt
             self.ep_mode_time_ns[self.width_idx] += dt
         self._seg_start = now
+
+    # ------------------------------------------------------------------
+    # Observability (all no-ops while ``self.trace`` is None)
+    # ------------------------------------------------------------------
+    def _trace_transition(self, now: float, new_state: str, name: str, **fields) -> None:
+        """Close the open residency segment and record a transition event.
+
+        ``link.state`` segments partition the link's lifetime by power
+        state exactly as :meth:`accrue` attributes energy: by
+        ``width_idx`` while on, ``"off"`` while off.  Summing their
+        durations therefore reproduces ``mode_time_ns``/``off_time_ns``
+        (the trace consistency test pins this).
+        """
+        trace = self.trace
+        if now > self._tr_start:
+            trace.emit(
+                self._tr_start,
+                "link",
+                "link.state",
+                dur_ns=now - self._tr_start,
+                link=self.name,
+                state=self._tr_state,
+            )
+        self._tr_start = now
+        self._tr_state = new_state
+        trace.emit(now, "link", name, link=self.name, **fields)
+
+    def trace_finalize(self, now: float) -> None:
+        """Close the final residency segment at the end of the window."""
+        if self.trace is not None and now > self._tr_start:
+            self.trace.emit(
+                self._tr_start,
+                "link",
+                "link.state",
+                dur_ns=now - self._tr_start,
+                link=self.name,
+                state=self._tr_state,
+            )
+            self._tr_start = now
 
     # ------------------------------------------------------------------
     # Packet path
@@ -432,6 +480,8 @@ class LinkController:
     def start(self, now: float = 0.0) -> None:
         """Arm the initial idle timer (links begin idle and on)."""
         self._seg_start = now
+        self._tr_start = now
+        self._tr_state = f"w{self.width_idx}"
         self._became_idle(now)
 
     def _became_idle(self, now: float) -> None:
@@ -456,6 +506,8 @@ class LinkController:
         now = self.sim.now
         self.accrue(now)
         self.is_off = True
+        if self.trace is not None:
+            self._trace_transition(now, "off", "link.off")
 
     def retry_sleep(self, now: float) -> None:
         """Re-attempt a sleep that was blocked by the network-aware hook."""
@@ -471,6 +523,8 @@ class LinkController:
             if self.can_sleep is None or self.can_sleep():
                 self.accrue(now)
                 self.is_off = True
+                if self.trace is not None:
+                    self._trace_transition(now, "off", "link.off")
         else:
             self._off_gen += 1
             gen = self._off_gen
@@ -486,6 +540,10 @@ class LinkController:
         self._sleep_blocked = False
         self.wake_until = now + self.mech.wake_ns
         self.wakeups += 1
+        if self.trace is not None:
+            self._trace_transition(
+                now, f"w{self.width_idx}", "link.wake", wakeups=self.wakeups
+            )
         self.sim.schedule_at(self.wake_until, lambda: self.try_start(self.sim.now))
 
     def wake_proactively(self, now: float) -> None:
@@ -501,6 +559,15 @@ class LinkController:
             return
         overhead = self.ep_actual_read_lat - self.ep_vlat[0]
         if overhead > self.ams:
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "link",
+                    "link.violation",
+                    link=self.name,
+                    ams=self.ams,
+                    overhead=overhead,
+                )
             self.on_violation(self)
 
     def force_full_power(self, now: float) -> None:
@@ -514,6 +581,7 @@ class LinkController:
     def set_mode(self, state: LinkModeState, now: float) -> None:
         """Apply a width/ROO mode, modeling transition latency."""
         self.accrue(now)
+        old_width, old_roo = self.width_idx, self.roo_idx
         if state.width_index != self.width_idx:
             self._trans_from = self.width_idx
             self.width_idx = state.width_index
@@ -524,6 +592,33 @@ class LinkController:
                 )
         if self.mech.has_roo and state.roo_index is not None:
             self.roo_idx = state.roo_index
+        if self.trace is not None and (
+            self.width_idx != old_width or self.roo_idx != old_roo
+        ):
+            # Residency is attributed to the new width from this instant
+            # (matching accrue) -- unless the link is off, in which case
+            # the "off" segment continues and only the mode event fires.
+            if self.width_idx != old_width and not self.is_off:
+                self._trace_transition(
+                    now,
+                    f"w{self.width_idx}",
+                    "link.mode",
+                    from_width=old_width,
+                    to_width=self.width_idx,
+                    from_roo=old_roo,
+                    to_roo=self.roo_idx,
+                )
+            else:
+                self.trace.emit(
+                    now,
+                    "link",
+                    "link.mode",
+                    link=self.name,
+                    from_width=old_width,
+                    to_width=self.width_idx,
+                    from_roo=old_roo,
+                    to_roo=self.roo_idx,
+                )
         # A mode change while idle re-arms the sleep timer with the new
         # threshold; while off the link simply stays off.
         if (

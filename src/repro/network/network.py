@@ -68,6 +68,10 @@ class MemoryNetwork:
         self.response_wake_mode: str = "none"
         #: Gate response-link sleep on subtree-outstanding reads.
         self.aware_sleep_gating: bool = False
+        #: Optional :class:`repro.obs.Tracer` for ``dram.access`` events;
+        #: installed by :func:`repro.obs.install_tracer` when the
+        #: ``dram`` category is enabled.
+        self.trace = None
 
         self.completed_reads = 0
         self.completed_writes = 0
@@ -227,6 +231,20 @@ class MemoryNetwork:
             self._wake_response_path(i, now)
         module.ledger.dram_dyn_j += self._e_access[module.radix]
         access = module.vaults.access(now, pkt.address, is_read)
+        if self.trace is not None:
+            vault, bank = module.vaults.map_address(pkt.address)
+            self.trace.emit(
+                now,
+                "dram",
+                "dram.access",
+                module=i,
+                vault=vault,
+                bank=bank,
+                read=is_read,
+                start=access.start,
+                data_ready=access.data_ready,
+                done=access.done,
+            )
         if is_read:
             resp = Packet(
                 kind=PacketKind.READ_RESP,
@@ -396,6 +414,7 @@ class MemoryNetwork:
         now = self.sim.now
         for link in self.all_links():
             link.accrue(now)
+            link.trace_finalize(now)
         for module in self.modules:
             leak_dram = self.power_model.dram_leakage_w(module.radix)
             leak_logic = self.power_model.logic_leakage_w(module.radix)

@@ -1,0 +1,76 @@
+"""Structured simulation tracing and metrics (the observability layer).
+
+Everything the simulator *does* -- link power-state transitions, ISP
+budget flow, DRAM bank activity, raw event dispatch -- can be captured
+as a stream of structured trace events and/or aggregated into per-epoch
+metrics, with **zero overhead when disabled**: every hot-path hook is a
+single ``is not None`` check against an attribute that defaults to
+``None``.
+
+Three pieces:
+
+* :class:`~repro.obs.trace.Tracer` -- category-filtered event emitter;
+  hot paths hold a reference only when their category is enabled.
+* :mod:`~repro.obs.sinks` -- pluggable :class:`TraceSink` backends:
+  JSONL (one event per line), CSV, and Chrome trace-event JSON loadable
+  in ``chrome://tracing`` / Perfetto, plus an in-memory list sink.
+* :class:`~repro.obs.metrics.MetricsRegistry` -- named counters, gauges
+  and histograms with per-epoch snapshots.
+
+See ``docs/observability.md`` for the full event-schema reference and a
+worked example.
+"""
+
+from repro.obs.analysis import (
+    event_counts,
+    format_trace_summary,
+    link_state_residency,
+    read_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    EpochLinkMetrics,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    CsvTraceSink,
+    JsonlTraceSink,
+    ListSink,
+    TRACE_FORMATS,
+    TraceSink,
+    make_sink,
+)
+from repro.obs.trace import (
+    ALL_CATEGORIES,
+    DEFAULT_CATEGORIES,
+    Tracer,
+    install_tracer,
+    parse_categories,
+)
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "DEFAULT_CATEGORIES",
+    "Tracer",
+    "install_tracer",
+    "parse_categories",
+    "TraceSink",
+    "ListSink",
+    "JsonlTraceSink",
+    "CsvTraceSink",
+    "ChromeTraceSink",
+    "TRACE_FORMATS",
+    "make_sink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EpochLinkMetrics",
+    "read_jsonl",
+    "event_counts",
+    "link_state_residency",
+    "format_trace_summary",
+]

@@ -1,0 +1,83 @@
+"""Reading traces back: residency reconstruction and summaries.
+
+The JSONL trace format is the canonical interchange; these helpers load
+it and answer the questions a reproduction debugging session asks
+first:
+
+* :func:`link_state_residency` -- integrate the ``link.state`` segment
+  events back into per-link, per-state time totals.  By construction
+  these must equal the link controllers' own ``mode_time_ns`` /
+  ``off_time_ns`` accounting (pinned by the trace consistency test), so
+  a mismatch between a trace and a power number localizes a bug
+  immediately.
+* :func:`event_counts` / :func:`format_trace_summary` -- quick shape
+  checks of a captured trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+__all__ = [
+    "read_jsonl",
+    "event_counts",
+    "link_state_residency",
+    "format_trace_summary",
+]
+
+
+def read_jsonl(path) -> List[Dict]:
+    """Load a JSONL trace file into a list of event dicts."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def event_counts(events: Iterable[Dict]) -> Dict[str, int]:
+    """Number of events per event type, sorted by type name."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        name = event.get("ev", "?")
+        counts[name] = counts.get(name, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def link_state_residency(events: Iterable[Dict]) -> Dict[str, Dict[str, float]]:
+    """Per-link time spent in each power state, from ``link.state`` events.
+
+    Returns ``{link_name: {state: ns}}`` where ``state`` is ``"off"`` or
+    ``"w<width_index>"``.  Only closed segments count; a trace captured
+    through :func:`repro.harness.experiment.run_experiment` closes every
+    segment at the window end, so the per-link total equals the
+    simulated window.
+    """
+    residency: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        if event.get("ev") != "link.state":
+            continue
+        per_link = residency.setdefault(event["link"], {})
+        state = event["state"]
+        per_link[state] = per_link.get(state, 0.0) + event["dur_ns"]
+    return residency
+
+
+def format_trace_summary(events: List[Dict]) -> str:
+    """Human-readable digest: counts per event type + link residency."""
+    lines = [f"{len(events)} events"]
+    for name, count in event_counts(events).items():
+        lines.append(f"  {name:<16s} {count}")
+    residency = link_state_residency(events)
+    if residency:
+        lines.append("link power-state residency (ns):")
+        for link in sorted(residency):
+            states = residency[link]
+            parts = ", ".join(
+                f"{state}={states[state]:.0f}" for state in sorted(states)
+            )
+            lines.append(f"  {link:<14s} {parts}")
+    return "\n".join(lines)

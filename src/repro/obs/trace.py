@@ -1,0 +1,145 @@
+"""The :class:`Tracer`: category-filtered structured event emission.
+
+A trace event is a flat dict with three reserved keys -- ``t`` (sim
+time, ns), ``cat`` (category), ``ev`` (event type) -- plus arbitrary
+event-specific fields.  Categories group events by subsystem so a trace
+can be kept small (the default set skips the very chatty per-dispatch
+engine events and per-access DRAM events):
+
+========  ==================================================  =========
+category  events                                              default?
+========  ==================================================  =========
+meta      ``trace.begin`` ``trace.end``                       always on
+link      ``link.state`` ``link.off`` ``link.wake``           yes
+          ``link.mode`` ``link.violation``
+epoch     ``epoch.boundary`` ``ams.module`` ``ams.link``      yes
+          ``isp.epoch`` ``isp.round`` ``isp.discount``
+          ``isp.leftover`` ``isp.grant``
+dram      ``dram.access``                                     no
+engine    ``engine.dispatch``                                 no
+========  ==================================================  =========
+
+``docs/observability.md`` documents every event field-by-field.
+
+Hot paths never pay for disabled tracing: simulation objects hold a
+``trace`` attribute that stays ``None`` unless :func:`install_tracer`
+wired a tracer *and* the object's category is enabled, so the only cost
+is an ``is not None`` test at state-transition sites.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Union
+
+from repro.obs.sinks import TraceSink
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "DEFAULT_CATEGORIES",
+    "Tracer",
+    "parse_categories",
+    "install_tracer",
+]
+
+#: Every known trace category, in documentation order.
+ALL_CATEGORIES = ("meta", "link", "epoch", "dram", "engine")
+
+#: Categories enabled when none are given: the power-state and budget
+#: events the paper's figures hinge on, without the per-event /
+#: per-access firehose.
+DEFAULT_CATEGORIES: FrozenSet[str] = frozenset({"meta", "link", "epoch"})
+
+
+def parse_categories(spec: Union[str, Iterable[str], None]) -> FrozenSet[str]:
+    """Parse a category spec into a frozen category set.
+
+    Accepts ``None`` (the defaults), the string ``"all"``, a
+    comma-separated string (``"link,epoch,dram"``), or any iterable of
+    names.  ``meta`` is always included.  Unknown names raise
+    ``ValueError``.
+    """
+    if spec is None:
+        return DEFAULT_CATEGORIES
+    if isinstance(spec, str):
+        if spec.strip() == "all":
+            return frozenset(ALL_CATEGORIES)
+        names = [s.strip() for s in spec.split(",") if s.strip()]
+    else:
+        names = list(spec)
+    unknown = set(names) - set(ALL_CATEGORIES)
+    if unknown:
+        raise ValueError(
+            f"unknown trace categories {sorted(unknown)}; "
+            f"choose from {', '.join(ALL_CATEGORIES)} or 'all'"
+        )
+    return frozenset(names) | {"meta"}
+
+
+class Tracer:
+    """Emits structured events to a :class:`~repro.obs.sinks.TraceSink`.
+
+    The tracer itself is cheap and synchronous; buffering/formatting
+    policy lives in the sink.  ``events_emitted`` counts events that
+    passed the category filter.
+    """
+
+    __slots__ = ("sink", "categories", "events_emitted")
+
+    def __init__(
+        self,
+        sink: TraceSink,
+        categories: Union[str, Iterable[str], None] = None,
+    ) -> None:
+        self.sink = sink
+        self.categories = parse_categories(categories)
+        self.events_emitted = 0
+
+    def wants(self, category: str) -> bool:
+        """Whether events in ``category`` would be recorded."""
+        return category in self.categories
+
+    def emit(self, t: float, category: str, name: str, **fields) -> None:
+        """Record one event at sim time ``t`` (ns) if its category is on."""
+        if category not in self.categories:
+            return
+        event = {"t": t, "cat": category, "ev": name}
+        event.update(fields)
+        self.sink.write(event)
+        self.events_emitted += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying sink."""
+        self.sink.close()
+
+
+def install_tracer(
+    tracer: Optional[Tracer],
+    sim=None,
+    network=None,
+    policy=None,
+) -> None:
+    """Wire ``tracer`` into the hot-path hooks of a simulation.
+
+    Each object's ``trace`` attribute is set only when the matching
+    category is enabled, so disabled categories cost nothing at all:
+
+    * ``sim.trace`` -- ``engine`` events (per-dispatch; very chatty);
+    * ``network.trace`` + every link's ``trace`` -- ``dram`` and
+      ``link`` events respectively;
+    * ``policy.trace`` -- ``epoch`` events.
+
+    Passing ``tracer=None`` is a no-op, so callers can wire
+    unconditionally.
+    """
+    if tracer is None:
+        return
+    if sim is not None and tracer.wants("engine"):
+        sim.trace = tracer
+    if network is not None:
+        if tracer.wants("dram"):
+            network.trace = tracer
+        if tracer.wants("link"):
+            for link in network.all_links():
+                link.trace = tracer
+    if policy is not None and tracer.wants("epoch"):
+        policy.trace = tracer

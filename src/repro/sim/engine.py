@@ -37,7 +37,7 @@ class Simulator:
     [5.0]
     """
 
-    __slots__ = ("now", "_queue", "_seq", "_stopped", "_events_processed")
+    __slots__ = ("now", "_queue", "_seq", "_stopped", "_events_processed", "trace")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -45,6 +45,10 @@ class Simulator:
         self._seq: int = 0
         self._stopped: bool = False
         self._events_processed: int = 0
+        #: Optional :class:`repro.obs.Tracer` emitting ``engine.dispatch``
+        #: events (one per executed callback, with queue depth).  Left
+        #: ``None`` unless the ``engine`` trace category is enabled.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -57,7 +61,13 @@ class Simulator:
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to fire at absolute time ``when`` ns."""
-        if when < self.now:
+        # A single comparison rejects both past times and NaN: every
+        # comparison against NaN is False, so a NaN ``when`` fails the
+        # >= too.  Letting NaN into the heap would silently corrupt its
+        # ordering invariant instead of failing loudly here.
+        if not when >= self.now:
+            if when != when:
+                raise SimulationError(f"cannot schedule at NaN (now={self.now})")
             raise SimulationError(
                 f"cannot schedule into the past (when={when}, now={self.now})"
             )
@@ -76,6 +86,7 @@ class Simulator:
         queue = self._queue
         processed = 0
         self._stopped = False
+        trace = self.trace
         while queue and not self._stopped:
             when, _seq, callback = queue[0]
             if until is not None and when >= until:
@@ -84,6 +95,17 @@ class Simulator:
                 return
             heapq.heappop(queue)
             self.now = when
+            if trace is not None:
+                # Tracing branch kept out of the common path: with the
+                # engine category disabled (the default) the loop body
+                # is identical to an untraced engine.
+                trace.emit(
+                    when,
+                    "engine",
+                    "engine.dispatch",
+                    depth=len(queue),
+                    cb=getattr(callback, "__qualname__", "?"),
+                )
             callback()
             processed += 1
             if max_events is not None and processed >= max_events:

@@ -34,6 +34,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--workload", "nope"])
 
+    def test_run_observability_flags(self):
+        args = build_parser().parse_args([
+            "run", "--trace", "out.jsonl", "--trace-format", "chrome",
+            "--trace-categories", "all", "--metrics-out", "m.json",
+        ])
+        assert args.trace == "out.jsonl"
+        assert args.trace_format == "chrome"
+        assert args.trace_categories == "all"
+        assert args.metrics_out == "m.json"
+
+    def test_run_observability_defaults_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.trace is None
+        assert args.metrics_out is None
+
+    def test_trace_kind_flag(self):
+        args = build_parser().parse_args(["trace", "out.jsonl"])
+        assert args.kind == "accesses"
+        args = build_parser().parse_args(
+            ["trace", "out.jsonl", "--kind", "events", "--format", "csv"])
+        assert args.kind == "events"
+        assert args.format == "csv"
+
     def test_figure_names(self):
         args = build_parser().parse_args(["figure", "fig5"])
         assert args.name == "fig5"
@@ -84,6 +107,36 @@ class TestExecution:
         from repro.workloads.traces import load_trace
 
         assert len(load_trace(path)) > 0
+
+    def test_run_with_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "run", "--workload", "sp.D", "--mechanism", "VWL+ROO",
+            "--policy", "aware", "--window-us", "50", "--epoch-us", "15",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out and "per-epoch metrics" in out
+        events = [json.loads(l) for l in trace.read_text().splitlines()]
+        kinds = {e["ev"] for e in events}
+        assert "trace.begin" in kinds and "link.state" in kinds
+        assert "epoch.boundary" in kinds
+        assert json.loads(metrics.read_text())["counters"]["epochs"] > 0
+
+    def test_trace_events_kind(self, tmp_path, capsys):
+        path = tmp_path / "ev.jsonl"
+        rc = main([
+            "trace", str(path), "--kind", "events", "--workload", "sp.D",
+            "--window-us", "50", "--epoch-us", "15",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "link power-state residency" in out
+        assert path.exists()
 
     def test_batch_command(self, tmp_path, capsys):
         import json

@@ -1,11 +1,20 @@
-"""Repository hygiene: docs exist, examples are importable and complete."""
+"""Repository hygiene: docs exist, examples are importable and complete,
+and the executable documentation actually executes."""
 
 import ast
 import pathlib
+import re
 
 import pytest
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
+
+_CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(markdown_path) -> list:
+    """Extract the ```python fenced blocks of a Markdown file, in order."""
+    return _CODE_BLOCK.findall(markdown_path.read_text())
 
 
 class TestDeliverables:
@@ -16,7 +25,7 @@ class TestDeliverables:
     def test_docs_directory(self):
         for name in (
             "architecture.md", "algorithms.md", "reproducing.md",
-            "api.md", "workloads.md",
+            "api.md", "workloads.md", "observability.md", "figures.md",
         ):
             assert (REPO / "docs" / name).is_file(), name
 
@@ -58,6 +67,39 @@ class TestExampleQuality:
         assert '__main__' in source, f"{script} lacks an entry guard"
         docstring = ast.get_docstring(tree)
         assert docstring and len(docstring) > 40, f"{script} lacks a docstring"
+
+
+class TestObservabilityDocExecutes:
+    """docs/observability.md is executable documentation.
+
+    Every ```python block runs top-to-bottom in one shared namespace
+    (file writes land in a temp cwd), so the event-schema reference can
+    never drift from what the tracer actually emits.
+    """
+
+    def test_every_code_block_runs(self, tmp_path, monkeypatch):
+        blocks = python_blocks(REPO / "docs" / "observability.md")
+        assert len(blocks) >= 4, "observability.md lost its worked example"
+        monkeypatch.chdir(tmp_path)
+        namespace = {}
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"observability.md[block {i}]", "exec"),
+                     namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(
+                    f"docs/observability.md block {i} failed: {exc!r}\n{block}"
+                )
+
+
+class TestIntraRepoLinks:
+    def test_markdown_links_resolve(self):
+        from scripts.check_docs_links import broken_links
+
+        broken = broken_links(REPO)
+        assert not broken, "broken intra-repo Markdown links:\n" + "\n".join(
+            f"  {src}: {target}" for src, target in broken
+        )
 
 
 class TestPublicDocstrings:

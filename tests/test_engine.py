@@ -51,6 +51,16 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             sim.schedule_at(1.0, lambda: None)
 
+    def test_schedule_nan_raises(self):
+        # NaN compares unequal to everything, so a NaN entry would
+        # silently corrupt the heap order instead of failing loudly.
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+        assert sim.pending_events == 0
+
     def test_events_can_schedule_more_events(self):
         sim = Simulator()
         fired = []

@@ -1,0 +1,386 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the unit behaviour of the tracer/sinks/metrics, the golden-file
+stability of the JSONL and Chrome exporters, and the two system-level
+guarantees the layer makes:
+
+* tracing is *purely observational* -- a traced run produces results
+  bit-identical to the untraced run, and the config cache key is
+  unchanged;
+* the ``link.state`` residency segments integrate back to exactly the
+  ``mode_time_ns`` / ``off_time_ns`` totals that the power accounting
+  charges, so trace and power numbers can never disagree silently.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.aware import NetworkAwarePolicy
+from repro.core.mechanisms import make_mechanism
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.sweep import SweepRunner
+from repro.network.network import MemoryNetwork
+from repro.network.topology import build_topology
+from repro.obs import (
+    ALL_CATEGORIES,
+    ChromeTraceSink,
+    Counter,
+    CsvTraceSink,
+    DEFAULT_CATEGORIES,
+    Gauge,
+    Histogram,
+    JsonlTraceSink,
+    ListSink,
+    MetricsRegistry,
+    Tracer,
+    event_counts,
+    install_tracer,
+    link_state_residency,
+    make_sink,
+    parse_categories,
+    read_jsonl,
+)
+from repro.sim.engine import Simulator
+from repro.workloads.generator import ClosedLoopWorkload
+from repro.workloads.mapping import contiguous_mapping
+from repro.workloads.profiles import get_profile
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: Small synthetic event sequence exercised by the exporter golden tests.
+_SAMPLE_EVENTS = [
+    (0.0, "meta", "trace.begin", {"workload": "mixB", "modules": 4}),
+    (150.0, "link", "link.off", {"link": "req:0->1"}),
+    (150.0, "link", "link.state",
+     {"dur_ns": 150.0, "link": "req:0->1", "state": "w0"}),
+    (900.0, "link", "link.wake", {"link": "req:0->1", "wakeups": 1}),
+    (900.0, "link", "link.state",
+     {"dur_ns": 750.0, "link": "req:0->1", "state": "off"}),
+    (25000.0, "epoch", "epoch.boundary",
+     {"index": 0, "policy": "NetworkAwarePolicy", "violations": 0}),
+    (25000.0, "epoch", "isp.epoch",
+     {"fel": 1000.0, "overhead": 40.0, "budget": 12.0}),
+]
+
+
+def _emit_samples(tracer):
+    for t, cat, name, fields in _SAMPLE_EVENTS:
+        tracer.emit(t, cat, name, **fields)
+
+
+# ----------------------------------------------------------------------
+# Categories and tracer
+# ----------------------------------------------------------------------
+class TestCategories:
+    def test_defaults(self):
+        assert parse_categories(None) == DEFAULT_CATEGORIES
+        assert "engine" not in DEFAULT_CATEGORIES
+        assert "dram" not in DEFAULT_CATEGORIES
+
+    def test_all(self):
+        assert parse_categories("all") == frozenset(ALL_CATEGORIES)
+
+    def test_comma_list_and_iterable(self):
+        assert parse_categories("link, epoch") == {"meta", "link", "epoch"}
+        assert parse_categories(["dram"]) == {"meta", "dram"}
+
+    def test_meta_always_included(self):
+        assert "meta" in parse_categories("link")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace categories"):
+            parse_categories("link,bogus")
+
+
+class TestTracer:
+    def test_emit_builds_reserved_keys(self):
+        sink = ListSink()
+        tracer = Tracer(sink, "all")
+        tracer.emit(5.0, "link", "link.off", link="req:0->1")
+        assert sink.events == [
+            {"t": 5.0, "cat": "link", "ev": "link.off", "link": "req:0->1"}
+        ]
+        assert tracer.events_emitted == 1
+
+    def test_category_filter_drops_events(self):
+        sink = ListSink()
+        tracer = Tracer(sink, "link")
+        tracer.emit(1.0, "engine", "engine.dispatch", depth=3)
+        tracer.emit(2.0, "link", "link.off", link="x")
+        assert [e["ev"] for e in sink.events] == ["link.off"]
+        assert tracer.events_emitted == 1
+
+    def test_wants(self):
+        tracer = Tracer(ListSink(), "link,dram")
+        assert tracer.wants("link") and tracer.wants("dram")
+        assert not tracer.wants("engine")
+
+
+class TestInstallTracer:
+    def test_attributes_set_only_for_enabled_categories(self):
+        profile = get_profile("mixB")
+        mapping = contiguous_mapping(profile.footprint_gb, "small")
+        sim = Simulator()
+        network = MemoryNetwork(
+            sim, build_topology("daisychain", mapping.num_modules),
+            make_mechanism("VWL+ROO"), mapping,
+        )
+        policy = NetworkAwarePolicy(network, 0.05)
+        tracer = Tracer(ListSink(), "link")
+        install_tracer(tracer, sim=sim, network=network, policy=policy)
+        assert sim.trace is None            # engine category off
+        assert network.trace is None        # dram category off
+        assert policy.trace is None         # epoch category off
+        assert all(l.trace is tracer for l in network.all_links())
+
+    def test_none_tracer_is_noop(self):
+        install_tracer(None, sim=Simulator())
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class TestSinks:
+    def test_make_sink_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            make_sink(tmp_path / "x", "yaml")
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(JsonlTraceSink(path), "all")
+        _emit_samples(tracer)
+        tracer.close()
+        events = read_jsonl(path)
+        assert len(events) == len(_SAMPLE_EVENTS)
+        for event, (t, cat, name, fields) in zip(events, _SAMPLE_EVENTS):
+            assert event == {"t": t, "cat": cat, "ev": name, **fields}
+
+    def test_jsonl_matches_golden(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(JsonlTraceSink(path), "all")
+        _emit_samples(tracer)
+        tracer.close()
+        with open(os.path.join(GOLDEN_DIR, "sample_trace.jsonl")) as fh:
+            assert path.read_text() == fh.read()
+
+    def test_chrome_matches_golden(self, tmp_path):
+        path = tmp_path / "t.json"
+        tracer = Tracer(ChromeTraceSink(path), "all")
+        _emit_samples(tracer)
+        tracer.close()
+        with open(os.path.join(GOLDEN_DIR, "sample_trace.chrome.json")) as fh:
+            assert json.loads(path.read_text()) == json.load(fh)
+
+    def test_chrome_structure(self, tmp_path):
+        path = tmp_path / "t.json"
+        tracer = Tracer(ChromeTraceSink(path), "all")
+        _emit_samples(tracer)
+        tracer.close()
+        doc = json.loads(path.read_text())
+        records = doc["traceEvents"]
+        # Track metadata names every tid once.
+        names = {r["args"]["name"] for r in records if r["ph"] == "M"}
+        assert "req:0->1" in names and "meta" in names and "epoch" in names
+        # link.state residency segments become duration slices in us.
+        slices = [r for r in records if r["ph"] == "X"]
+        assert {(s["name"], s["dur"]) for s in slices} == {
+            ("w0", 0.150), ("off", 0.750)
+        }
+
+    def test_csv_header_is_union_of_fields(self, tmp_path):
+        path = tmp_path / "t.csv"
+        tracer = Tracer(CsvTraceSink(path), "all")
+        _emit_samples(tracer)
+        tracer.close()
+        header, *rows = path.read_text().splitlines()
+        columns = header.split(",")
+        assert columns[:3] == ["t", "cat", "ev"]
+        assert set(columns) > {"link", "state", "dur_ns", "budget"}
+        assert len(rows) == len(_SAMPLE_EVENTS)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_monotone(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        g.set(4.0)
+        g.set(2.0)
+        assert g.value == 2.0
+
+    def test_histogram_bucketing(self):
+        h = Histogram("x", (1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 0.2):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]
+        assert h.total == 4
+        assert h.mean == pytest.approx(55.7 / 4)
+        with pytest.raises(ValueError):
+            Histogram("bad", (10.0, 1.0))
+
+    def test_registry_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c", (1.0,)) is reg.histogram("c", (1.0,))
+
+    def test_mark_epoch_deltas(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(10)
+        first = reg.mark_epoch(100.0)
+        reg.counter("n").inc(5)
+        second = reg.mark_epoch(200.0)
+        assert first["deltas"]["n"] == 10
+        assert second["deltas"]["n"] == 5
+        assert second["counters"]["n"] == 15
+        assert [e["t"] for e in reg.epochs] == [100.0, 200.0]
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(3)
+        reg.histogram("h", (1.0,)).observe(0.5)
+        path = tmp_path / "m.json"
+        reg.write_json(path)
+        data = json.loads(path.read_text())
+        assert data["counters"]["n"] == 3
+        assert data["histograms"]["h"]["total"] == 1
+
+
+# ----------------------------------------------------------------------
+# System-level guarantees
+# ----------------------------------------------------------------------
+_BASE = dict(
+    workload="mixB", topology="daisychain", mechanism="VWL+ROO",
+    policy="aware", alpha=0.05, window_ns=150_000.0, epoch_ns=25_000.0,
+)
+
+
+class TestTraceIsPureObservation:
+    def test_cache_key_ignores_observability_fields(self, tmp_path):
+        plain = ExperimentConfig(**_BASE)
+        traced = ExperimentConfig(
+            **_BASE,
+            trace_path=str(tmp_path / "t.jsonl"),
+            trace_categories="all",
+            metrics_path=str(tmp_path / "m.json"),
+        )
+        assert plain.cache_key() == traced.cache_key()
+
+    def test_traced_run_is_bit_identical(self, tmp_path):
+        plain = run_experiment(ExperimentConfig(**_BASE))
+        traced = run_experiment(ExperimentConfig(
+            **_BASE,
+            trace_path=str(tmp_path / "t.jsonl"),
+            trace_categories="all",
+            metrics_path=str(tmp_path / "m.json"),
+        ))
+        assert traced.breakdown.watts == plain.breakdown.watts
+        assert traced.throughput_per_s == plain.throughput_per_s
+        assert traced.avg_read_latency_ns == plain.avg_read_latency_ns
+        assert traced.events_processed == plain.events_processed
+        assert traced.violations == plain.violations
+        assert traced.completed_reads == plain.completed_reads
+        assert plain.trace_events == 0
+        assert traced.trace_events > 0
+
+    def test_unknown_trace_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            ExperimentConfig(**_BASE, trace_format="yaml")
+
+    def test_bad_categories_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace categories"):
+            ExperimentConfig(**_BASE, trace_categories="bogus")
+
+
+class TestResidencyConsistency:
+    """Acceptance criterion: trace segments == power accounting."""
+
+    def test_link_state_segments_match_accounting(self):
+        window = 150_000.0
+        profile = get_profile("mixB")
+        mapping = contiguous_mapping(profile.footprint_gb, "small")
+        sim = Simulator()
+        network = MemoryNetwork(
+            sim, build_topology("daisychain", mapping.num_modules),
+            make_mechanism("VWL+ROO"), mapping,
+        )
+        policy = NetworkAwarePolicy(network, 0.05, 25_000.0)
+        sink = ListSink()
+        install_tracer(Tracer(sink, "link,epoch"),
+                       sim=sim, network=network, policy=policy)
+        workload = ClosedLoopWorkload(network, profile, stop_ns=window, seed=1)
+        network.start()
+        policy.start()
+        workload.start()
+        sim.run(until=window)
+        network.finalize(window)
+
+        residency = link_state_residency(sink.events)
+        for link in network.all_links():
+            segments = residency.get(link.name, {})
+            # Every width's trace time equals the accounting's time.
+            for width, expected in enumerate(link.mode_time_ns):
+                assert segments.get(f"w{width}", 0.0) == pytest.approx(
+                    expected, rel=1e-9, abs=1e-6
+                ), (link.name, width)
+            assert segments.get("off", 0.0) == pytest.approx(
+                link.off_time_ns, rel=1e-9, abs=1e-6
+            ), link.name
+            # And the segments partition the whole window.
+            assert sum(segments.values()) == pytest.approx(window, rel=1e-9)
+        # The epoch category produced ISP budget events too.
+        counts = event_counts(sink.events)
+        assert counts["epoch.boundary"] == counts["isp.epoch"] > 0
+        assert counts["ams.link"] > 0
+
+
+class TestSweepRunnerTracing:
+    def test_traced_configs_always_resimulate(self, tmp_path):
+        runner = SweepRunner()
+        traced = ExperimentConfig(
+            **_BASE, trace_path=str(tmp_path / "t.jsonl"))
+        runner.run(traced)
+        os.remove(tmp_path / "t.jsonl")
+        runner.run(traced)
+        assert runner.runs == 2
+        assert runner.traced_runs == 2
+        assert runner.memory_hits == 0
+        # The second traced run rewrote its side-effect file.
+        assert (tmp_path / "t.jsonl").exists()
+        # An untraced request for the same simulation hits the cache.
+        runner.run(ExperimentConfig(**_BASE))
+        assert runner.runs == 2
+        assert runner.memory_hits == 1
+
+    def test_run_all_keeps_traced_and_untraced_apart(self, tmp_path):
+        runner = SweepRunner()
+        traced = ExperimentConfig(
+            **_BASE, trace_path=str(tmp_path / "t.jsonl"))
+        plain = ExperimentConfig(**_BASE)
+        results = runner.run_all([plain, traced])
+        assert runner.traced_runs == 1
+        assert (tmp_path / "t.jsonl").exists()
+        assert results[0].breakdown.watts == results[1].breakdown.watts
+
+
+class TestMetricsOutput:
+    def test_run_experiment_writes_epoch_metrics(self, tmp_path):
+        path = tmp_path / "m.json"
+        result = run_experiment(
+            ExperimentConfig(**_BASE, metrics_path=str(path)))
+        data = json.loads(path.read_text())
+        assert data["counters"]["epochs"] == result.epochs
+        assert len(data["epochs"]) == result.epochs
+        assert data["counters"]["link.busy_ns"] > 0
+        assert data["histograms"]["link.utilization"]["total"] > 0
