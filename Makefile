@@ -1,0 +1,31 @@
+# Developer entry points mirroring the CI jobs (.github/workflows/ci.yml).
+#
+# `lint` requires ruff and mypy (installed with `pip install -e .[dev]`);
+# `bench-gate` is the same command the CI perf job runs.
+
+PYTHON ?= python
+LINT_PATHS = src/repro/sim src/repro/network src/repro/perf
+
+.PHONY: test lint bench bench-quick bench-gate baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check $(LINT_PATHS)
+	ruff format --check $(LINT_PATHS)
+	mypy $(LINT_PATHS)
+
+bench:
+	$(PYTHON) -m repro.cli bench
+
+bench-quick:
+	$(PYTHON) -m repro.cli bench --quick
+
+bench-gate:
+	$(PYTHON) -m repro.cli bench --quick --baseline benchmarks/baseline_ci.json --max-regress 25
+
+# Refresh the committed CI baseline (run on an otherwise idle machine;
+# see docs/benchmarking.md for when this is legitimate).
+baseline:
+	$(PYTHON) -m repro.cli bench --quick --out benchmarks/baseline_ci.json

@@ -7,6 +7,7 @@ Subcommands::
     repro-mnet run --trace out.jsonl ... # same, plus a structured event trace
     repro-mnet figure fig5 [--full]      # regenerate a paper artifact
     repro-mnet trace out.jsonl --kind events   # event trace + printed summary
+    repro-mnet bench --out BENCH.json    # performance microbenchmarks
 
 The ``figure`` subcommand accepts: fig4, fig5, fig6, fig8, fig9, fig11,
 fig12, fig13, fig15, fig16, fig17, fig18, sec7.
@@ -269,6 +270,24 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--out-json", help="write results as JSON")
     batch_p.add_argument("--out-csv", help="write results as CSV")
 
+    bench_p = sub.add_parser(
+        "bench", help="run performance microbenchmarks (see docs/benchmarking.md)")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="smaller iteration counts (CI-friendly)")
+    bench_p.add_argument("--out", default=None, metavar="FILE",
+                         help="write a schema-versioned BENCH_*.json report")
+    bench_p.add_argument("--baseline", default=None, metavar="FILE",
+                         help="compare against a committed BENCH report")
+    bench_p.add_argument("--max-regress", type=float, default=25.0, metavar="PCT",
+                         help="fail when any bench slows by more than PCT%% "
+                              "vs the baseline (default: 25)")
+    bench_p.add_argument("--repeats", type=int, default=None, metavar="N",
+                         help="override per-bench repeat counts")
+    bench_p.add_argument("--only", nargs="+", default=None, metavar="NAME",
+                         help="run only the named benchmarks")
+    bench_p.add_argument("--list", action="store_true",
+                         help="list benchmark scenarios and exit")
+
     trace_p = sub.add_parser(
         "trace", help="record a workload access trace or a structured event trace")
     trace_p.add_argument("path", help="output file (.gz for access-trace compression)")
@@ -389,6 +408,75 @@ def _cmd_trace_events(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.perf import (
+        BenchmarkError,
+        ReportError,
+        all_benchmarks,
+        compare_outcome,
+        compare_reports,
+        format_comparison,
+        load_report,
+        make_report,
+        run_benchmarks,
+        write_report,
+    )
+
+    if args.list:
+        width = max(len(s.name) for s in all_benchmarks())
+        for spec in all_benchmarks():
+            print(f"{spec.name:<{width}}  {spec.description}")
+        return 0
+
+    mode = "quick" if args.quick else "full"
+    try:
+        results = run_benchmarks(
+            names=args.only or None,
+            quick=args.quick,
+            repeats=args.repeats,
+            progress=lambda n: print(f"# bench [{mode}] {n} ...", file=sys.stderr),
+        )
+    except BenchmarkError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    rows = [
+        [r.name, f"{r.best_s * 1e3:.2f} ms", f"{r.mean_s * 1e3:.2f} ms",
+         f"{r.stdev_s * 1e3:.2f} ms", f"{r.events_per_s:.3e}", r.fingerprint]
+        for r in results
+    ]
+    print(format_table(
+        ["bench", "best", "mean", "stdev", "events/s", "fingerprint"], rows,
+        title=f"repro-mnet bench ({mode}, best of N)",
+    ))
+
+    report = make_report(results, args.quick)
+    if args.out:
+        write_report(args.out, report)
+        print(f"Wrote {args.out}")
+
+    if args.baseline:
+        if not os.path.exists(args.baseline):
+            print(f"error: baseline file {args.baseline!r} not found",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = load_report(args.baseline)
+        except (ReportError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        comparisons = compare_reports(report, baseline, args.max_regress)
+        print()
+        print(format_comparison(comparisons, args.max_regress))
+        if compare_outcome(comparisons):
+            print("FAIL: performance regression beyond threshold",
+                  file=sys.stderr)
+            return 1
+        print("gate passed")
+    return 0
+
+
 def _cmd_batch(args) -> int:
     from repro.harness.io import load_batch, save_results_csv, save_results_json
 
@@ -423,6 +511,8 @@ def main(argv=None) -> int:
         return _cmd_sweep_alpha(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "batch":
         return _cmd_batch(args)
     return 2

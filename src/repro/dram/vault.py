@@ -18,7 +18,6 @@ utilization).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.dram.timing import DramTiming
@@ -26,23 +25,34 @@ from repro.dram.timing import DramTiming
 __all__ = ["Vault", "VaultAccess"]
 
 
-@dataclass(frozen=True)
 class VaultAccess:
     """Outcome of scheduling one access on a vault.
 
     ``start`` is when the activate begins, ``data_ready`` when read data
     has fully burst (response packet can depart), ``done`` when the bank
     becomes available again.
+
+    A plain ``__slots__`` class (one is allocated per DRAM access, which
+    makes construction cost part of the simulator's hot path).
     """
 
-    start: float
-    data_ready: float
-    done: float
+    __slots__ = ("start", "data_ready", "done")
+
+    def __init__(self, start: float, data_ready: float, done: float) -> None:
+        self.start = start
+        self.data_ready = data_ready
+        self.done = done
 
     @property
     def latency_from(self) -> float:
         """Data-ready latency measured from ``start``."""
         return self.data_ready - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VaultAccess(start={self.start}, data_ready={self.data_ready}, "
+            f"done={self.done})"
+        )
 
 
 class Vault:
@@ -61,6 +71,16 @@ class Vault:
         "writes",
         "row_hits",
         "row_misses",
+        "_open_policy",
+        "_buf_entries",
+        "_n_banks",
+        "_burst_ns",
+        "_tRRD",
+        "_tRCD",
+        "_tCL",
+        "_tRP",
+        "_tWR",
+        "_read_occ",
     )
 
     def __init__(self, timing: DramTiming) -> None:
@@ -70,6 +90,18 @@ class Vault:
         self._last_act: float = -1e18
         #: Departure times of queued commands (bounded FIFO occupancy).
         self._queue_free: List[float] = []
+        # Cached per-access constants (timing is frozen, so these can
+        # never drift from self.timing).
+        self._open_policy: bool = timing.page_policy == "open"
+        self._buf_entries: int = timing.vault_buffer_entries
+        self._n_banks: int = timing.banks_per_vault
+        self._burst_ns: float = timing.burst_ns
+        self._tRRD: float = timing.tRRD
+        self._tRCD: float = timing.tRCD
+        self._tCL: float = timing.tCL
+        self._tRP: float = timing.tRP
+        self._tWR: float = timing.tWR
+        self._read_occ: float = timing.read_bank_occupancy_ns
         #: Open row per bank (open-page policy only).
         self._open_rows: List[Optional[int]] = [None] * timing.banks_per_vault
         self.busy_ns: float = 0.0
@@ -89,22 +121,29 @@ class Vault:
         command queue is full the access stalls until an entry frees.
         ``row`` only matters under the open-page policy.
         """
-        t = self.timing
-        bank %= t.banks_per_vault
+        bank %= self._n_banks
 
         # Bounded command queue: wait for an entry if all are in flight.
+        # Pruning departed entries is amortized: the list only needs a
+        # sweep once it reaches capacity, which keeps its length bounded
+        # by ``vault_buffer_entries`` + 1 and gives the same stall times
+        # as pruning on every access (the stall decision below only ever
+        # inspects the pruned list).
         start_earliest = now
-        self._queue_free = [d for d in self._queue_free if d > now]
-        if len(self._queue_free) >= t.vault_buffer_entries:
-            start_earliest = max(start_earliest, min(self._queue_free))
+        queue_free = self._queue_free
+        if len(queue_free) >= self._buf_entries:
+            queue_free = [d for d in queue_free if d > now]
+            self._queue_free = queue_free
+            if len(queue_free) >= self._buf_entries:
+                start_earliest = min(queue_free)
 
-        if t.page_policy == "open":
+        if self._open_policy:
             access = self._access_open(start_earliest, bank, is_read, row)
         else:
             access = self._access_close(start_earliest, bank, is_read)
-        self.busy_ns += t.burst_ns
+        self.busy_ns += self._burst_ns
         self.bank_busy_ns[bank] += access.done - access.start
-        self._queue_free.append(access.done)
+        queue_free.append(access.done)
         if is_read:
             self.reads += 1
         else:
@@ -113,19 +152,20 @@ class Vault:
 
     def _access_close(self, earliest: float, bank: int, is_read: bool) -> VaultAccess:
         """Close-page: activate + access + precharge every time."""
-        t = self.timing
         # Activate constraints: bank must be precharged, tRRD since the
-        # previous activate in this vault.
-        act = max(earliest, self._bank_free[bank], self._last_act + t.tRRD)
+        # previous activate in this vault.  Timing constants come from
+        # the per-access caches; the arithmetic (including evaluation
+        # order) matches the uncached original term for term.
+        act = max(earliest, self._bank_free[bank], self._last_act + self._tRRD)
         if is_read:
-            data_start = act + t.tRCD + t.tCL
+            data_start = act + self._tRCD + self._tCL
             data_start = max(data_start, self._bus_free)
-            data_ready = data_start + t.burst_ns
-            done = max(act + t.read_bank_occupancy_ns, data_ready + t.tRP)
+            data_ready = data_start + self._burst_ns
+            done = max(act + self._read_occ, data_ready + self._tRP)
         else:
-            data_start = max(act + t.tRCD, self._bus_free)
-            data_ready = data_start + t.burst_ns
-            done = data_ready + t.tWR + t.tRP
+            data_start = max(act + self._tRCD, self._bus_free)
+            data_ready = data_start + self._burst_ns
+            done = data_ready + self._tWR + self._tRP
 
         self._last_act = act
         self._bank_free[bank] = done
@@ -178,11 +218,25 @@ class Vault:
 class VaultSet:
     """The 32 vaults of one HMC plus the line-interleaved address map."""
 
-    __slots__ = ("timing", "vaults")
+    __slots__ = (
+        "timing",
+        "vaults",
+        "_line_bytes",
+        "_n_vaults",
+        "_n_banks",
+        "_lines_per_row",
+    )
 
     def __init__(self, timing: DramTiming) -> None:
         self.timing = timing
         self.vaults: List[Vault] = [Vault(timing) for _ in range(timing.vaults)]
+        # Address-map constants cached off the frozen timing config so
+        # the per-access path decodes vault/bank/row from a single
+        # ``line`` division.
+        self._line_bytes: int = timing.line_bytes
+        self._n_vaults: int = timing.vaults
+        self._n_banks: int = timing.banks_per_vault
+        self._lines_per_row: int = timing.row_bytes // timing.line_bytes
 
     def map_address(self, address: int) -> Tuple[int, int]:
         """Line-interleaved mapping: address -> (vault, bank)."""
@@ -198,9 +252,20 @@ class VaultSet:
         return per_bank // (self.timing.row_bytes // self.timing.line_bytes)
 
     def access(self, now: float, address: int, is_read: bool) -> VaultAccess:
-        """Route ``address`` to its vault/bank and schedule the access."""
-        vault, bank = self.map_address(address)
-        return self.vaults[vault].access(now, bank, is_read, row=self.map_row(address))
+        """Route ``address`` to its vault/bank and schedule the access.
+
+        Decodes the line-interleaved map inline (one ``line`` division
+        shared by the vault/bank/row computations) -- equivalent to
+        :meth:`map_address` + :meth:`map_row`, which remain the readable
+        reference implementations.
+        """
+        line = address // self._line_bytes
+        n_vaults = self._n_vaults
+        per_vault = line // n_vaults
+        row = (per_vault // self._n_banks) // self._lines_per_row
+        return self.vaults[line % n_vaults].access(
+            now, per_vault % self._n_banks, is_read, row=row
+        )
 
     @property
     def reads(self) -> int:

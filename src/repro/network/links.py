@@ -32,7 +32,8 @@ and split into the paper's idle-I/O / active-I/O buckets.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from heapq import heappush
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.core.mechanisms import (
     LinkModeState,
@@ -132,6 +133,8 @@ class LinkController:
         "_flit_times",
         "_serdes_times",
         "_power_fracs",
+        "_off_frac",
+        "_n_modes",
     )
 
     def __init__(
@@ -224,12 +227,14 @@ class LinkController:
         self._ep_start = 0.0
         #: Optional :class:`repro.obs.Tracer`; installed by
         #: :func:`repro.obs.install_tracer` when link tracing is on.
-        self.trace = None
+        self.trace: Optional[Any] = None
         self._tr_state = "w0"
         self._tr_start = 0.0
         self._flit_times = tuple(m.flit_time_ns() for m in mech.width_modes)
         self._serdes_times = tuple(m.serdes_ns for m in mech.width_modes)
         self._power_fracs = tuple(m.power_fraction for m in mech.width_modes)
+        self._off_frac = mech.off_power_fraction
+        self._n_modes = n_modes
 
     # ------------------------------------------------------------------
     # Mode parameter helpers
@@ -276,13 +281,25 @@ class LinkController:
 
     def accrue(self, now: float) -> None:
         """Charge energy for the segment since the last state change."""
-        dt = now - self._seg_start
+        seg = self._seg_start
+        dt = now - seg
         if dt <= 0:
             self._seg_start = now
             return
-        frac = self._power_fraction_now(self._seg_start)
-        joules = 2.0 * self.endpoint_w * frac * dt * 1e-9
-        half = joules * 0.5
+        # Inlined _power_fraction_now(seg): this runs twice per packet
+        # transmission, and the call + _effective_width indirection cost
+        # more than the whole energy computation.  The arithmetic is
+        # bit-identical: multiplying by 2.0 then 0.5 is an exact no-op
+        # in binary floating point, so ``half`` below equals the
+        # historical ``(2.0 * endpoint_w * frac * dt * 1e-9) * 0.5``.
+        if self.is_off:
+            frac = self._off_frac
+        elif seg < self._trans_until:
+            fracs = self._power_fracs
+            frac = max(fracs[self.width_idx], fracs[self._trans_from])
+        else:
+            frac = self._power_fracs[self.width_idx]
+        half = self.endpoint_w * frac * dt * 1e-9
         if self.transmitting:
             self.ledger_src.active_io_j += half
             self.ledger_dst.active_io_j += half
@@ -301,7 +318,9 @@ class LinkController:
     # ------------------------------------------------------------------
     # Observability (all no-ops while ``self.trace`` is None)
     # ------------------------------------------------------------------
-    def _trace_transition(self, now: float, new_state: str, name: str, **fields) -> None:
+    def _trace_transition(
+        self, now: float, new_state: str, name: str, **fields
+    ) -> None:
         """Close the open residency segment and record a transition event.
 
         ``link.state`` segments partition the link's lifetime by power
@@ -357,7 +376,12 @@ class LinkController:
 
         if self.is_off:
             self._begin_wake(now)
-        self.try_start(now)
+            self.try_start(now)
+        elif not self.transmitting:
+            # Inlined try_start's first early-out: while a transmission
+            # is in flight the call would return immediately, and
+            # _finish_tx re-arms the link anyway.
+            self.try_start(now)
 
     def _update_delay_monitors(self, pkt: Packet, now: float) -> None:
         """Per-mode virtual queues (delay monitor + counter of Ahn'14)."""
@@ -375,11 +399,20 @@ class LinkController:
         # SERDES latency is pipelined (adds delay, not occupancy): the
         # virtual queue advances by serialization time only.
         serdes = self._serdes_times
-        for i in range(len(flit_times)):
-            start = vfree[i] if vfree[i] > now else now
-            done = start + flits * flit_times[i]
-            vfree[i] = done
-            vlat[i] += (done + serdes[i]) - now
+        if self._n_modes == 1:
+            # Single-width mechanisms (FP, ROO) dominate the fig5/fig9
+            # pipelines; skip the loop machinery for them.
+            v0 = vfree[0]
+            start = v0 if v0 > now else now
+            done = start + flits * flit_times[0]
+            vfree[0] = done
+            vlat[0] += (done + serdes[0]) - now
+        else:
+            for i in range(self._n_modes):
+                start = vfree[i] if vfree[i] > now else now
+                done = start + flits * flit_times[i]
+                vfree[i] = done
+                vlat[i] += (done + serdes[i]) - now
         self.ep_reads += 1
 
     def _advance_virtual_queues(self, pkt: Packet, now: float) -> None:
@@ -387,9 +420,14 @@ class LinkController:
         flits = pkt.flits
         vfree = self.ep_vfree
         flit_times = self._flit_times
-        for i in range(len(flit_times)):
-            start = vfree[i] if vfree[i] > now else now
-            vfree[i] = start + flits * flit_times[i]
+        if self._n_modes == 1:
+            v0 = vfree[0]
+            start = v0 if v0 > now else now
+            vfree[0] = start + flits * flit_times[0]
+        else:
+            for i in range(self._n_modes):
+                start = vfree[i] if vfree[i] > now else now
+                vfree[i] = start + flits * flit_times[i]
 
     def _update_wake_sampling(self, now: float) -> None:
         if now <= self._sample_end:
@@ -423,7 +461,10 @@ class LinkController:
         """Begin transmitting the highest-priority queued packet if possible."""
         if self.transmitting:
             return
-        if not self.read_q and not self.write_q:
+        # Read-over-write priority: pick the source queue once and reuse
+        # it for both the head peek and the eventual popleft.
+        head_q = self.read_q or self.write_q
+        if not head_q:
             return
         if self.is_off:
             self._begin_wake(now)
@@ -431,33 +472,58 @@ class LinkController:
         if now < self.wake_until:
             self.sim.schedule_at(self.wake_until, lambda: self.try_start(self.sim.now))
             return
-        head = self.read_q[0] if self.read_q else self.write_q[0]
-        nxt = self.next_ctrl(head) if self.next_ctrl is not None else None
-        if nxt is not None and not nxt.has_space():
-            if self not in nxt._blocked_upstreams:
-                nxt._blocked_upstreams.append(self)
-            return
-        pkt = self.read_q.popleft() if self.read_q else self.write_q.popleft()
+        next_ctrl = self.next_ctrl
+        nxt = next_ctrl(head_q[0]) if next_ctrl is not None else None
         if nxt is not None:
+            # Inlined nxt.has_space() / queue_len (hot path).
+            if len(nxt.read_q) + len(nxt.write_q) + nxt.reserved >= BUFFER_ENTRIES:
+                if self not in nxt._blocked_upstreams:
+                    nxt._blocked_upstreams.append(self)
+                return
             nxt.reserved += 1
+        pkt = head_q.popleft()
         self.accrue(now)
         self.transmitting = True
-        flit_time, serdes, _power = self._effective_width(now)
-        tx_done = now + pkt.flits * flit_time
-        self.sim.schedule_at(tx_done, lambda: self._finish_tx(pkt, serdes))
+        if now < self._trans_until:
+            flit_time, serdes, _power = self._effective_width(now)
+        else:
+            w = self.width_idx
+            flit_time = self._flit_times[w]
+            serdes = self._serdes_times[w]
+        # Inlined sim.schedule_at (one event per transmitted packet):
+        # tx_done >= now by construction, so the past/NaN guard in
+        # schedule_at can never fire here.
+        sim = self.sim
+        heappush(
+            sim._queue,
+            (
+                now + pkt.flits * flit_time,
+                sim._seq,
+                lambda: self._finish_tx(pkt, serdes),
+            ),
+        )
+        sim._seq += 1
 
     def _finish_tx(self, pkt: Packet, serdes: float) -> None:
         now = self.sim.now
         self.accrue(now)
         self.transmitting = False
-        self.flits_tx += pkt.flits
-        self.ep_flits += pkt.flits
+        flits = pkt.flits
+        self.flits_tx += flits
+        self.ep_flits += flits
         self.packets_tx += 1
-        if pkt.kind.is_read:
+        # pkt.is_read is the construction-time cache of kind.is_read
+        # (READ_REQ or READ_RESP, i.e. not WRITE_REQ).
+        if pkt.is_read:
             self.ep_actual_read_lat += (now + serdes) - pkt.link_arrival
             self._check_violation()
         if not self.read_q and not self.write_q:
-            self._became_idle(now)
+            # Inlined _became_idle's no-ROO early-out (FP and width-only
+            # mechanisms never arm a sleep timer).
+            if self.roo_idx is None or not self.roo_enabled:
+                self._idle_since = now
+            else:
+                self._became_idle(now)
         # The deliver callback receives the future wire+SERDES arrival
         # time and is responsible for scheduling its own continuation --
         # calling it synchronously here saves one event per hop.

@@ -34,6 +34,8 @@ class ModuleRuntime:
         "dram_reads",
         "outstanding_subtree_reads",
         "flits_routed",
+        "e_flit_j",
+        "e_access_j",
     )
 
     def __init__(self, module_id: int, radix: Radix, timing: DramTiming) -> None:
@@ -51,6 +53,11 @@ class ModuleRuntime:
         #: subtree; the network-aware response-link sleep gate.
         self.outstanding_subtree_reads: int = 0
         self.flits_routed: int = 0
+        #: Per-access energy constants for this module's radix, filled
+        #: in by the owning network (kept here to spare the router and
+        #: DRAM hot paths a radix-keyed dict lookup per packet).
+        self.e_flit_j: float = 0.0
+        self.e_access_j: float = 0.0
 
     def connectivity_links(self) -> List[LinkController]:
         """The module's request/response links toward the processor."""

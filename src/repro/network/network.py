@@ -24,7 +24,8 @@ two response-link wakeup strategies of the paper:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from heapq import heappush
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.mechanisms import MechanismConfig
 from repro.dram.timing import DEFAULT_TIMING, DramTiming
@@ -71,7 +72,7 @@ class MemoryNetwork:
         #: Optional :class:`repro.obs.Tracer` for ``dram.access`` events;
         #: installed by :func:`repro.obs.install_tracer` when the
         #: ``dram`` category is enabled.
-        self.trace = None
+        self.trace: Optional[Any] = None
 
         self.completed_reads = 0
         self.completed_writes = 0
@@ -105,8 +106,16 @@ class MemoryNetwork:
             r: power_model.dram_energy_per_access_j(r)
             for r in set(topology.radix)
         }
+        for module in self.modules:
+            module.e_flit_j = self._e_flit[module.radix]
+            module.e_access_j = self._e_access[module.radix]
+        #: Path as ModuleRuntime objects (hot injection/completion path).
+        self._path_modules: List[List[ModuleRuntime]] = [
+            [self.modules[m] for m in path] for path in self._paths
+        ]
 
         self._build_links(roo_enabled)
+        self._root_req = self.modules[0].req_in
 
     # ------------------------------------------------------------------
     # Construction
@@ -114,6 +123,7 @@ class MemoryNetwork:
     def _build_links(self, roo_enabled: bool) -> None:
         topo = self.topology
         endpoint_w = self.power_model.link_endpoint_w()
+        self._links: List[LinkController] = []
         for i, module in enumerate(self.modules):
             parent = topo.parent[i]
             parent_ledger = (
@@ -148,16 +158,28 @@ class MemoryNetwork:
             module.children = list(topo.children[i])
 
             req.deliver = self._make_req_deliver(i)
-            req.next_ctrl = self._make_req_next(i)
             resp.deliver = self._make_resp_deliver(i)
             resp.next_ctrl = self._make_resp_next(i)
+            self._links.append(req)
+            self._links.append(resp)
+        # dest -> next-hop request controller, resolved once per module
+        # (saves a route lookup plus a modules[] index per forwarded
+        # packet).  Request next_ctrl closures bind these dicts, so they
+        # are wired in a second pass once every controller exists.
+        self._route_req: List[Dict[int, LinkController]] = [
+            {dest: self.modules[child].req_in for dest, child in routes.items()}
+            for routes in self._route
+        ]
+        for i, module in enumerate(self.modules):
+            module.req_in.next_ctrl = self._make_req_next(i)
 
     def _make_req_next(self, i: int):
+        route = self._route_req[i]
+
         def next_ctrl(pkt: Packet) -> Optional[LinkController]:
             if pkt.dest == i:
                 return None
-            child = self._route[i][pkt.dest]
-            return self.modules[child].req_in
+            return route[pkt.dest]
 
         return next_ctrl
 
@@ -170,12 +192,21 @@ class MemoryNetwork:
 
     def _make_req_deliver(self, i: int):
         module = self.modules[i]
+        ledger = module.ledger
+        sim = self.sim
+        after = self._after_req_router
 
         def deliver(pkt: Packet, now: float) -> None:
-            self._charge_router(module, pkt)
-            self.sim.schedule_at(
-                now + ROUTER_LATENCY_NS, lambda: self._after_req_router(i, pkt)
+            # Inlined _charge_router and schedule_at (one router hop per
+            # packet per module; ``now`` is a future arrival time, so
+            # the past/NaN guard can never fire).
+            flits = pkt.flits
+            module.flits_routed += flits
+            ledger.logic_dyn_j += module.e_flit_j * flits
+            heappush(
+                sim._queue, (now + ROUTER_LATENCY_NS, sim._seq, lambda: after(i, pkt))
             )
+            sim._seq += 1
 
         return deliver
 
@@ -184,8 +215,7 @@ class MemoryNetwork:
         if pkt.dest == i:
             self._at_destination(i, pkt, now)
             return
-        child = self._route[i][pkt.dest]
-        target = self.modules[child].req_in
+        target = self._route_req[i][pkt.dest]
         target.release_reservation()
         target.enqueue(pkt, now)
 
@@ -201,12 +231,21 @@ class MemoryNetwork:
             return deliver_to_processor
 
         parent_module = self.modules[parent]
+        ledger = parent_module.ledger
+        sim = self.sim
+        after = self._after_resp_router
 
         def deliver(pkt: Packet, now: float) -> None:
-            self._charge_router(parent_module, pkt)
-            self.sim.schedule_at(
-                now + ROUTER_LATENCY_NS, lambda: self._after_resp_router(parent, pkt)
+            # Inlined _charge_router and schedule_at, as on the request
+            # side.
+            flits = pkt.flits
+            parent_module.flits_routed += flits
+            ledger.logic_dyn_j += parent_module.e_flit_j * flits
+            heappush(
+                sim._queue,
+                (now + ROUTER_LATENCY_NS, sim._seq, lambda: after(parent, pkt)),
             )
+            sim._seq += 1
 
         return deliver
 
@@ -219,8 +258,9 @@ class MemoryNetwork:
     # DRAM hand-off
     # ------------------------------------------------------------------
     def _charge_router(self, module: ModuleRuntime, pkt: Packet) -> None:
-        module.flits_routed += pkt.flits
-        module.ledger.logic_dyn_j += self._e_flit[module.radix] * pkt.flits
+        flits = pkt.flits
+        module.flits_routed += flits
+        module.ledger.logic_dyn_j += module.e_flit_j * flits
 
     def _at_destination(self, i: int, pkt: Packet, now: float) -> None:
         module = self.modules[i]
@@ -228,8 +268,11 @@ class MemoryNetwork:
         if is_read:
             module.ep_dram_reads += 1
             module.dram_reads += 1
-            self._wake_response_path(i, now)
-        module.ledger.dram_dyn_j += self._e_access[module.radix]
+            # Guard inlined: with wakeup hiding disabled (the common
+            # fig5 baseline) _wake_response_path is a no-op per read.
+            if self.response_wake_mode != "none" and self.mechanism.has_roo:
+                self._wake_response_path(i, now)
+        module.ledger.dram_dyn_j += module.e_access_j
         access = module.vaults.access(now, pkt.address, is_read)
         if self.trace is not None:
             vault, bank = module.vaults.map_address(pkt.address)
@@ -245,22 +288,29 @@ class MemoryNetwork:
                 data_ready=access.data_ready,
                 done=access.done,
             )
+        sim = self.sim
         if is_read:
             resp = Packet(
-                kind=PacketKind.READ_RESP,
-                address=pkt.address,
-                dest=PROCESSOR,
-                src=i,
-                issue_time=pkt.issue_time,
-                stream=pkt.stream,
+                PacketKind.READ_RESP,
+                pkt.address,
+                PROCESSOR,
+                i,
+                pkt.issue_time,
+                pkt.stream,
             )
             resp.dram_start = access.start
-            self.sim.schedule_at(
-                access.data_ready,
-                lambda: module.resp_out.enqueue(resp, self.sim.now),
+            # Inlined schedule_at: data_ready >= now by construction.
+            heappush(
+                sim._queue,
+                (
+                    access.data_ready,
+                    sim._seq,
+                    lambda: module.resp_out.enqueue(resp, sim.now),
+                ),
             )
         else:
-            self.sim.schedule_at(access.done, self._count_write_done)
+            heappush(sim._queue, (access.done, sim._seq, self._count_write_done))
+        sim._seq += 1
 
     def _count_write_done(self) -> None:
         self.completed_writes += 1
@@ -310,18 +360,13 @@ class MemoryNetwork:
     def _inject_read_now(self, address: int, stream: int) -> None:
         now = self.sim.now
         dest = self.mapping.module_of(address)
-        pkt = Packet(
-            kind=PacketKind.READ_REQ,
-            address=address,
-            dest=dest,
-            issue_time=now,
-            stream=stream,
-        )
-        for m in self._paths[dest]:
-            self.modules[m].outstanding_subtree_reads += 1
+        pkt = Packet(PacketKind.READ_REQ, address, dest, PROCESSOR, now, stream)
+        path = self._path_modules[dest]
+        for m in path:
+            m.outstanding_subtree_reads += 1
         self.injected_reads += 1
-        self.sum_traversals += 2 * len(self._paths[dest])
-        self.modules[0].req_in.enqueue(pkt, now)
+        self.sum_traversals += 2 * len(path)
+        self._root_req.enqueue(pkt, now)
 
     def inject_write(self, address: int, now: float, stream: int = 0) -> None:
         """Issue a posted write for ``address`` at ``now``.
@@ -338,16 +383,10 @@ class MemoryNetwork:
     def _inject_write_now(self, address: int, stream: int) -> None:
         now = self.sim.now
         dest = self.mapping.module_of(address)
-        pkt = Packet(
-            kind=PacketKind.WRITE_REQ,
-            address=address,
-            dest=dest,
-            issue_time=now,
-            stream=stream,
-        )
+        pkt = Packet(PacketKind.WRITE_REQ, address, dest, PROCESSOR, now, stream)
         self.injected_writes += 1
-        self.sum_traversals += len(self._paths[dest])
-        self.modules[0].req_in.enqueue(pkt, now)
+        self.sum_traversals += len(self._path_modules[dest])
+        self._root_req.enqueue(pkt, now)
 
     def _complete_read(self, pkt: Packet, now: float) -> None:
         latency = now - pkt.issue_time
@@ -355,11 +394,11 @@ class MemoryNetwork:
         self.sum_read_latency_ns += latency
         if latency > self.max_read_latency_ns:
             self.max_read_latency_ns = latency
-        for m in self._paths[pkt.src]:
-            module = self.modules[m]
+        gating = self.aware_sleep_gating
+        for module in self._path_modules[pkt.src]:
             module.outstanding_subtree_reads -= 1
             if (
-                self.aware_sleep_gating
+                gating
                 and module.outstanding_subtree_reads == 0
                 and module.resp_out is not None
             ):
@@ -385,12 +424,13 @@ class MemoryNetwork:
             link.start(self.sim.now)
 
     def all_links(self) -> List[LinkController]:
-        """Every unidirectional link controller in the network."""
-        out: List[LinkController] = []
-        for module in self.modules:
-            out.append(module.req_in)
-            out.append(module.resp_out)
-        return out
+        """Every unidirectional link controller in the network.
+
+        Returns a fresh copy of the list built at construction time
+        (request then response per module, in module order) so callers
+        may mutate it freely.
+        """
+        return list(self._links)
 
     @property
     def channel_req(self) -> LinkController:

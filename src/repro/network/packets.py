@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = [
@@ -70,9 +69,12 @@ def flits_for(kind: PacketKind) -> int:
 _packet_ids = itertools.count()
 
 
-@dataclass
 class Packet:
     """A single request or response packet in flight.
+
+    A plain ``__slots__`` class rather than a dataclass: packets are the
+    single most-allocated object in a simulation (two per read, one per
+    write), and slotted construction is both faster and smaller.
 
     Attributes
     ----------
@@ -89,26 +91,50 @@ class Packet:
     stream:
         Index of the closed-loop workload stream that issued the access;
         used to resume the stream when the read completes.
+    link_arrival:
+        Time the packet arrived at the link controller it currently
+        queues at.
+    dram_start:
+        Time the DRAM access for this transaction started (responses
+        only).
+    flits / is_read:
+        Flit count and read flag, cached at construction (hot path).
     """
 
-    kind: PacketKind
-    address: int
-    dest: int
-    src: int = PROCESSOR
-    issue_time: float = 0.0
-    stream: int = 0
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
-    #: Time the packet arrived at the link controller it currently queues at.
-    link_arrival: float = 0.0
-    #: Time the DRAM access for this transaction started (responses only).
-    dram_start: Optional[float] = None
-    #: Flit count and read flag, cached at construction (hot path).
-    flits: int = 0
-    is_read: bool = False
+    __slots__ = (
+        "kind",
+        "address",
+        "dest",
+        "src",
+        "issue_time",
+        "stream",
+        "pkt_id",
+        "link_arrival",
+        "dram_start",
+        "flits",
+        "is_read",
+    )
 
-    def __post_init__(self) -> None:
-        self.flits = _FLITS[self.kind]
-        self.is_read = self.kind is not PacketKind.WRITE_REQ
+    def __init__(
+        self,
+        kind: PacketKind,
+        address: int,
+        dest: int,
+        src: int = PROCESSOR,
+        issue_time: float = 0.0,
+        stream: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.address = address
+        self.dest = dest
+        self.src = src
+        self.issue_time = issue_time
+        self.stream = stream
+        self.pkt_id: int = next(_packet_ids)
+        self.link_arrival: float = 0.0
+        self.dram_start: Optional[float] = None
+        self.flits: int = _FLITS[kind]
+        self.is_read: bool = kind is not PacketKind.WRITE_REQ
 
     @property
     def bytes(self) -> int:

@@ -1,0 +1,214 @@
+"""Best-of-N microbenchmark harness with warmup and determinism checks.
+
+A benchmark is a *factory*: ``factory(quick) -> work`` where ``work()``
+performs one cold run of the scenario and returns ``(events, fingerprint)``:
+
+* ``events`` -- how many units of work the run performed (simulator
+  events, DRAM accesses, generated addresses, ...); divided by the best
+  wall time it yields the ``events/s`` throughput stat;
+* ``fingerprint`` -- a short string digest of the run's *results*.
+  Every repeat must return the identical ``(events, fingerprint)``
+  pair; a mismatch means the scenario is nondeterministic and the
+  harness fails loudly rather than report garbage.
+
+The factory is invoked once per repeat so every timed run is cold: no
+state (caches, warmed allocators aside) survives between repeats.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BenchmarkError",
+    "BenchSpec",
+    "BenchResult",
+    "register",
+    "all_benchmarks",
+    "get_benchmark",
+    "run_benchmarks",
+]
+
+#: ``work()`` return type: (events performed, result fingerprint).
+WorkOutcome = Tuple[int, str]
+WorkFn = Callable[[], WorkOutcome]
+FactoryFn = Callable[[bool], WorkFn]
+
+
+class BenchmarkError(RuntimeError):
+    """A benchmark misbehaved (unknown name, nondeterministic repeats)."""
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One named scenario in the registry."""
+
+    name: str
+    description: str
+    factory: FactoryFn
+    #: Default repeat count (full mode); quick mode uses ``quick_repeats``.
+    repeats: int = 5
+    quick_repeats: int = 2
+    warmup: int = 1
+    quick_warmup: int = 0
+
+
+@dataclass
+class BenchResult:
+    """Measured statistics of one benchmark."""
+
+    name: str
+    description: str
+    repeats: int
+    warmup: int
+    times_s: List[float]
+    events: int
+    fingerprint: str
+
+    @property
+    def best_s(self) -> float:
+        """Fastest repeat -- the primary comparison statistic."""
+        return min(self.times_s)
+
+    @property
+    def mean_s(self) -> float:
+        return statistics.fmean(self.times_s)
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.times_s)
+
+    @property
+    def stdev_s(self) -> float:
+        return statistics.stdev(self.times_s) if len(self.times_s) > 1 else 0.0
+
+    @property
+    def events_per_s(self) -> float:
+        """Throughput at the best repeat (0 when the scenario is untimed)."""
+        best = self.best_s
+        return self.events / best if best > 0 else 0.0
+
+    def to_dict(self) -> Dict:
+        """JSON-safe stats block for the BENCH report."""
+        return {
+            "description": self.description,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "times_s": self.times_s,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "median_s": self.median_s,
+            "stdev_s": self.stdev_s,
+            "events": self.events,
+            "events_per_s": self.events_per_s,
+            "fingerprint": self.fingerprint,
+        }
+
+
+#: Global scenario registry, in registration order.
+_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register(
+    name: str,
+    description: str,
+    repeats: int = 5,
+    quick_repeats: int = 2,
+    warmup: int = 1,
+    quick_warmup: int = 0,
+) -> Callable[[FactoryFn], FactoryFn]:
+    """Decorator adding a benchmark factory to the registry."""
+
+    def deco(factory: FactoryFn) -> FactoryFn:
+        if name in _REGISTRY:
+            raise BenchmarkError(f"duplicate benchmark name {name!r}")
+        _REGISTRY[name] = BenchSpec(
+            name=name,
+            description=description,
+            factory=factory,
+            repeats=repeats,
+            quick_repeats=quick_repeats,
+            warmup=warmup,
+            quick_warmup=quick_warmup,
+        )
+        return factory
+
+    return deco
+
+
+def all_benchmarks() -> List[BenchSpec]:
+    """Every registered scenario, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def get_benchmark(name: str) -> BenchSpec:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise BenchmarkError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def _run_one(spec: BenchSpec, quick: bool, repeats: Optional[int]) -> BenchResult:
+    n = repeats if repeats is not None else (
+        spec.quick_repeats if quick else spec.repeats
+    )
+    warm = spec.quick_warmup if quick else spec.warmup
+    if n < 1:
+        raise BenchmarkError(f"{spec.name}: repeats must be >= 1, got {n}")
+
+    for _ in range(warm):
+        spec.factory(quick)()
+
+    times: List[float] = []
+    outcome: Optional[WorkOutcome] = None
+    for _ in range(n):
+        work = spec.factory(quick)
+        t0 = time.perf_counter()
+        got = work()
+        elapsed = time.perf_counter() - t0
+        times.append(elapsed)
+        if outcome is None:
+            outcome = got
+        elif got != outcome:
+            raise BenchmarkError(
+                f"{spec.name}: nondeterministic repeats "
+                f"(first {outcome!r}, then {got!r})"
+            )
+    assert outcome is not None
+    events, fingerprint = outcome
+    return BenchResult(
+        name=spec.name,
+        description=spec.description,
+        repeats=n,
+        warmup=warm,
+        times_s=times,
+        events=events,
+        fingerprint=fingerprint,
+    )
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Run the named scenarios (default: all) and return their results.
+
+    ``repeats`` overrides each spec's repeat count; ``progress`` is
+    called with each scenario's name just before it runs.
+    """
+    specs = (
+        [get_benchmark(n) for n in names] if names is not None else all_benchmarks()
+    )
+    out: List[BenchResult] = []
+    for spec in specs:
+        if progress is not None:
+            progress(spec.name)
+        out.append(_run_one(spec, quick, repeats))
+    return out

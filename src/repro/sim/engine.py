@@ -15,7 +15,7 @@ precision for the simulated windows we use (a few milliseconds).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 __all__ = ["Simulator", "SimulationError"]
 
@@ -48,16 +48,22 @@ class Simulator:
         #: Optional :class:`repro.obs.Tracer` emitting ``engine.dispatch``
         #: events (one per executed callback, with queue depth).  Left
         #: ``None`` unless the ``engine`` trace category is enabled.
-        self.trace = None
+        self.trace: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to fire ``delay`` ns from now."""
-        if delay < 0:
+        # One comparison rejects both negative delays and NaN (every
+        # comparison against NaN is False); pushing directly instead of
+        # delegating to schedule_at saves a call on the hot path.
+        if not delay >= 0:
+            if delay != delay:
+                raise SimulationError(f"cannot schedule at NaN (now={self.now})")
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self.schedule_at(self.now + delay, callback)
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        self._seq += 1
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to fire at absolute time ``when`` ns."""
@@ -77,23 +83,65 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
 
-        Events scheduled exactly at ``until`` are *not* executed; the clock
-        is left at ``until`` so a subsequent ``run`` continues seamlessly.
+        Clock semantics:
+
+        * Events scheduled exactly at ``until`` are *not* executed; the
+          clock is left at ``until`` so a subsequent ``run`` continues
+          seamlessly (this holds even when the queue drains early).
+        * When ``max_events`` exhausts the budget mid-window, the clock
+          stays at the time of the last *executed* event -- never ahead
+          of events still in the queue -- so callers can resume with
+          another ``run`` call without the clock moving backwards.
+          ``events_processed`` is credited on every exit path.
+        * :meth:`stop` likewise leaves the clock at the in-flight
+          event's time.
+
+        The common case (no tracing, no event budget) runs in
+        specialized tight loops; all variants execute events in an
+        identical order.
         """
         queue = self._queue
         processed = 0
         self._stopped = False
         trace = self.trace
+        heappop = heapq.heappop
+        if trace is None and max_events is None:
+            # Fast paths -- the loop body is small enough that hoisting
+            # the trace/budget checks measurably speeds up dispatch.
+            if until is None:
+                while queue and not self._stopped:
+                    when, _seq, callback = heappop(queue)
+                    self.now = when
+                    callback()
+                    processed += 1
+            else:
+                while queue and not self._stopped:
+                    if queue[0][0] >= until:
+                        self.now = until
+                        self._events_processed += processed
+                        return
+                    when, _seq, callback = heappop(queue)
+                    self.now = when
+                    callback()
+                    processed += 1
+                if not self._stopped and self.now < until:
+                    self.now = until
+            self._events_processed += processed
+            return
+
+        exhausted = False
         while queue and not self._stopped:
             when, _seq, callback = queue[0]
             if until is not None and when >= until:
                 self.now = until
                 self._events_processed += processed
                 return
-            heapq.heappop(queue)
+            heappop(queue)
             self.now = when
             if trace is not None:
                 # Tracing branch kept out of the common path: with the
@@ -109,8 +157,9 @@ class Simulator:
             callback()
             processed += 1
             if max_events is not None and processed >= max_events:
+                exhausted = True
                 break
-        if until is not None and not self._stopped:
+        if until is not None and not self._stopped and not exhausted:
             self.now = max(self.now, until)
         self._events_processed += processed
 

@@ -168,16 +168,19 @@ class ClosedLoopWorkload:
         now = self.sim.now
         if now >= self.stop_ns:
             return
-        rng = self._rng[s]
+        rng_random = self._rng[s].random
+        read_fraction = self.profile.read_fraction
+        next_address = self._next_address
+        network = self.network
         reads = 0
         for _ in range(self.profile.mlp):
-            address = self._next_address(s)
-            if rng.random() < self.profile.read_fraction:
+            address = next_address(s)
+            if rng_random() < read_fraction:
                 reads += 1
-                self.network.inject_read(address, now, stream=s)
+                network.inject_read(address, now, stream=s)
             else:
-                self.network.inject_write(address, now, stream=s)
-            self.issued += 1
+                network.inject_write(address, now, stream=s)
+        self.issued += self.profile.mlp
         if reads:
             self._outstanding[s] = reads
         else:

@@ -1,0 +1,49 @@
+"""Golden-result determinism pin for the full experiment pipeline.
+
+``tests/golden/experiment_results.json`` holds the complete
+``result_to_cache_dict`` payload (minus wall time) of four experiment
+configurations spanning the mechanism/policy/topology space.  Re-running
+them must reproduce every field bit-for-bit -- including the power
+breakdown floats and ``events_processed``, which pins the exact event
+count and ordering of the discrete-event core.
+
+Any optimization that changes floating-point evaluation order, event
+scheduling order, or RNG consumption shows up here as a diff.  The file
+must only be regenerated for an *intentional* semantic change, never to
+paper over an accidental one.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.io import result_to_cache_dict
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "experiment_results.json"
+)
+
+with open(GOLDEN_PATH) as _fh:
+    GOLDEN = json.load(_fh)
+
+
+def _case_id(entry):
+    cfg = entry["config"]
+    return "-".join(
+        str(cfg[k]) for k in ("workload", "topology", "mechanism", "policy", "seed")
+    )
+
+
+@pytest.mark.parametrize("entry", GOLDEN, ids=[_case_id(e) for e in GOLDEN])
+def test_experiment_results_match_golden(entry):
+    config = ExperimentConfig(**entry["config"])
+    payload = result_to_cache_dict(run_experiment(config))
+    payload.pop("wall_time_s", None)
+    expected = dict(entry)
+    expected.pop("wall_time_s", None)
+    # Field-by-field first for a readable diff on failure.
+    assert set(payload) == set(expected)
+    for key in sorted(expected):
+        assert payload[key] == expected[key], f"field {key!r} diverged"

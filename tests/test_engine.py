@@ -110,6 +110,52 @@ class TestRunUntil:
         sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
+    def test_max_events_with_until_leaves_clock_at_last_event(self):
+        # Exhausting the event budget mid-window must NOT advance the
+        # clock to `until`: events are still pending before it, and a
+        # resumed run would otherwise move the clock backwards.
+        sim = Simulator()
+        fired = []
+        for t in (10.0, 20.0, 30.0):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run(until=100.0, max_events=2)
+        assert fired == [10.0, 20.0]
+        assert sim.now == 20.0
+        assert sim.pending_events == 1
+        assert sim.events_processed == 2
+
+    def test_resume_after_budget_exhaustion_reaches_until(self):
+        sim = Simulator()
+        fired = []
+        for t in (10.0, 20.0, 30.0):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run(until=100.0, max_events=2)
+        sim.run(until=100.0)
+        assert fired == [10.0, 20.0, 30.0]
+        assert sim.now == 100.0
+        assert sim.events_processed == 3
+
+    def test_max_events_exactly_draining_queue_still_reaches_until(self):
+        # When the budget is not actually exceeded (the queue drains
+        # first), the until-window semantics are unchanged.
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10.0, lambda: fired.append(10.0))
+        sim.run(until=50.0, max_events=5)
+        assert fired == [10.0]
+        assert sim.now == 50.0
+
+    def test_events_processed_accumulates_across_budgeted_runs(self):
+        sim = Simulator()
+        for t in range(1, 6):
+            sim.schedule_at(float(t), lambda: None)
+        sim.run(max_events=2)
+        assert sim.events_processed == 2
+        sim.run(max_events=2)
+        assert sim.events_processed == 4
+        sim.run()
+        assert sim.events_processed == 5
+
     def test_stop_halts_run(self):
         sim = Simulator()
         fired = []

@@ -1,0 +1,260 @@
+"""Tests for the ``repro-mnet bench`` harness, report, and gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BENCH_SCHEMA,
+    CALIBRATION_BENCH,
+    BenchmarkError,
+    ReportError,
+    all_benchmarks,
+    compare_outcome,
+    compare_reports,
+    load_report,
+    make_report,
+    run_benchmarks,
+    write_report,
+)
+from repro.perf.harness import BenchResult, BenchSpec, _run_one
+
+
+def _fake_report(benches, quick=True):
+    """A schema-valid report from {name: best_s} (plus optional calib)."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_unix": 0.0,
+        "quick": quick,
+        "machine": {},
+        "benches": {
+            name: {"best_s": best, "times_s": [best], "events": 100}
+            for name, best in benches.items()
+        },
+    }
+
+
+class TestHarness:
+    def test_quick_run_produces_results_and_stats(self):
+        results = run_benchmarks(
+            names=["engine_dispatch"], quick=True, repeats=2, progress=None
+        )
+        (r,) = results
+        assert r.name == "engine_dispatch"
+        assert len(r.times_s) == 2
+        assert r.best_s <= r.mean_s
+        assert r.events > 0
+        assert r.events_per_s > 0
+        assert len(r.fingerprint) == 16
+
+    def test_quick_determinism_across_two_runs(self):
+        # Two fresh invocations of the same scenarios must land on the
+        # identical event counts and result fingerprints.
+        names = ["engine_dispatch", "dram_vault", "workload_generation"]
+        first = run_benchmarks(names=names, quick=True, repeats=1, progress=None)
+        second = run_benchmarks(names=names, quick=True, repeats=1, progress=None)
+        for a, b in zip(first, second):
+            assert (a.name, a.events, a.fingerprint) == (
+                b.name,
+                b.events,
+                b.fingerprint,
+            )
+
+    def test_nondeterministic_scenario_fails_loudly(self):
+        ticks = iter(range(100))
+
+        def factory(quick):
+            return lambda: (1, f"fp-{next(ticks)}")
+
+        spec = BenchSpec(
+            name="bad",
+            description="changes answer per repeat",
+            factory=factory,
+            repeats=2,
+            quick_repeats=2,
+        )
+        with pytest.raises(BenchmarkError, match="nondeterministic"):
+            _run_one(spec, quick=True, repeats=None)
+
+    def test_unknown_benchmark_name_rejected(self):
+        with pytest.raises(BenchmarkError, match="unknown benchmark"):
+            run_benchmarks(names=["no_such_bench"], quick=True, progress=None)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def full_registry_report(self):
+        # One cold repeat of every registered scenario, quick sizes.
+        results = run_benchmarks(quick=True, repeats=1, progress=None)
+        return make_report(results, quick=True), results
+
+    def test_schema_round_trip(self, tmp_path, full_registry_report):
+        report, results = full_registry_report
+        path = tmp_path / "BENCH_test.json"
+        write_report(str(path), report)
+        loaded = load_report(str(path))
+        assert loaded["schema"] == BENCH_SCHEMA
+        assert loaded["quick"] is True
+        assert set(loaded["machine"]) >= {"platform", "python", "cpu_count"}
+        for r in results:
+            stats = loaded["benches"][r.name]
+            assert stats["best_s"] == r.best_s
+            assert stats["times_s"] == r.times_s
+            assert stats["events"] == r.events
+            assert stats["fingerprint"] == r.fingerprint
+
+    def test_every_registered_scenario_appears_in_json(self, full_registry_report):
+        report, _results = full_registry_report
+        registered = {spec.name for spec in all_benchmarks()}
+        assert registered == set(report["benches"])
+        assert CALIBRATION_BENCH in report["benches"]
+
+    def test_load_rejects_other_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "other/v9", "benches": {}}))
+        with pytest.raises(ReportError):
+            load_report(str(path))
+
+    def test_load_rejects_missing_benches(self, tmp_path):
+        path = tmp_path / "nobench.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+        with pytest.raises(ReportError):
+            load_report(str(path))
+
+
+class TestGateLogic:
+    def test_improvement_never_regresses(self):
+        base = _fake_report({"a": 2.0})
+        cur = _fake_report({"a": 1.0})
+        comps = compare_reports(cur, base, max_regress_pct=25.0)
+        assert not compare_outcome(comps)
+
+    def test_raw_regression_without_calibration_fails(self):
+        base = _fake_report({"a": 1.0})
+        cur = _fake_report({"a": 2.0})
+        (c,) = compare_reports(cur, base, max_regress_pct=25.0)
+        assert c.norm_pct is None
+        assert c.regressed
+
+    def test_slower_machine_is_excused_by_calibration(self):
+        # Everything (including calibration) is 2x slower: raw regresses
+        # but the normalized score is flat, so the gate passes.
+        base = _fake_report({CALIBRATION_BENCH: 0.1, "a": 1.0})
+        cur = _fake_report({CALIBRATION_BENCH: 0.2, "a": 2.0})
+        (c,) = compare_reports(cur, base, max_regress_pct=25.0)
+        assert c.raw_pct == pytest.approx(100.0)
+        assert c.norm_pct == pytest.approx(0.0)
+        assert not c.regressed
+
+    def test_noisy_calibration_is_excused_by_raw_time(self):
+        # Calibration alone sped up (its baseline measurement was slow):
+        # normalized looks regressed, raw is flat, so the gate passes.
+        base = _fake_report({CALIBRATION_BENCH: 0.2, "a": 1.0})
+        cur = _fake_report({CALIBRATION_BENCH: 0.1, "a": 1.0})
+        (c,) = compare_reports(cur, base, max_regress_pct=25.0)
+        assert c.raw_pct == pytest.approx(0.0)
+        assert c.norm_pct == pytest.approx(100.0)
+        assert not c.regressed
+
+    def test_true_regression_fails_both_metrics(self):
+        base = _fake_report({CALIBRATION_BENCH: 0.1, "a": 1.0})
+        cur = _fake_report({CALIBRATION_BENCH: 0.1, "a": 2.0})
+        (c,) = compare_reports(cur, base, max_regress_pct=25.0)
+        assert c.regressed
+        assert compare_outcome([c])
+
+    def test_calibration_itself_is_never_gated(self):
+        base = _fake_report({CALIBRATION_BENCH: 0.1, "a": 1.0})
+        cur = _fake_report({CALIBRATION_BENCH: 10.0, "a": 1.0})
+        names = [c.name for c in compare_reports(cur, base, 25.0)]
+        assert CALIBRATION_BENCH not in names
+
+    def test_only_overlapping_benches_compared(self):
+        base = _fake_report({"a": 1.0, "only_base": 1.0})
+        cur = _fake_report({"a": 1.0, "only_cur": 1.0})
+        names = [c.name for c in compare_reports(cur, base, 25.0)]
+        assert names == ["a"]
+
+
+class TestCliGateExitCodes:
+    BENCH_ARGS = ["bench", "--quick", "--repeats", "1", "--only",
+                  "workload_generation"]
+
+    def _current_report(self):
+        results = run_benchmarks(
+            names=["workload_generation"], quick=True, repeats=1, progress=None
+        )
+        return make_report(results, quick=True)
+
+    def test_exit_0_when_gate_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        report = self._current_report()
+        # Inflate the baseline so the current run is an improvement.
+        report["benches"]["workload_generation"]["best_s"] *= 10
+        write_report(str(baseline), report)
+        code = main(self.BENCH_ARGS + ["--baseline", str(baseline)])
+        assert code == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_exit_1_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        report = self._current_report()
+        # Deflate the baseline so the current run looks far slower.
+        report["benches"]["workload_generation"]["best_s"] /= 1000
+        write_report(str(baseline), report)
+        code = main(self.BENCH_ARGS + ["--baseline", str(baseline)])
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_exit_2_on_missing_baseline(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        code = main(self.BENCH_ARGS + ["--baseline", str(missing)])
+        assert code == 2
+
+    def test_exit_2_on_malformed_baseline(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "wrong/v0", "benches": {}}))
+        code = main(self.BENCH_ARGS + ["--baseline", str(bad)])
+        assert code == 2
+
+    def test_out_writes_schema_versioned_report(self, tmp_path):
+        out = tmp_path / "BENCH_out.json"
+        code = main(self.BENCH_ARGS + ["--out", str(out)])
+        assert code == 0
+        assert load_report(str(out))["benches"]["workload_generation"]
+
+    def test_list_names_every_scenario(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for spec in all_benchmarks():
+            assert spec.name in out
+
+
+class TestBenchResultStats:
+    def test_stat_properties(self):
+        r = BenchResult(
+            name="x",
+            description="",
+            repeats=3,
+            warmup=0,
+            times_s=[0.4, 0.2, 0.3],
+            events=100,
+            fingerprint="f" * 16,
+        )
+        assert r.best_s == 0.2
+        assert r.mean_s == pytest.approx(0.3)
+        assert r.median_s == pytest.approx(0.3)
+        assert r.events_per_s == pytest.approx(100 / 0.2)
+
+    def test_single_repeat_has_zero_stdev(self):
+        r = BenchResult(
+            name="x",
+            description="",
+            repeats=1,
+            warmup=0,
+            times_s=[0.5],
+            events=10,
+            fingerprint="f",
+        )
+        assert r.stdev_s == 0.0
