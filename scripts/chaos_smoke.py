@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""End-to-end chaos smoke for the hardened execution layer.
+
+Exercises the two recovery paths ``docs/resilience.md`` promises,
+against the real CLI in real subprocesses (no mocks):
+
+1. **Worker death mid-sweep** — a faulted batch containing a
+   ``die=1`` sabotage config (the worker SIGKILLs itself) must still
+   complete: every healthy config produces a result, the dead one is
+   recorded in the journal as a structured ``crash`` failure, and the
+   CLI exits 3.
+2. **Sweep death mid-run** — a running sweep is SIGKILLed from the
+   outside after checkpointing some results; re-running with
+   ``--resume`` must finish the remainder while replaying the
+   journaled results instead of re-simulating them.
+
+Used by the CI ``chaos`` job::
+
+    python scripts/chaos_smoke.py           # exit 0 iff both pass
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+WINDOW_NS = 120_000.0
+EPOCH_NS = 30_000.0
+
+
+def base_config(
+    seed: int, fault_spec: str = "", window_ns: float = WINDOW_NS
+) -> dict:
+    """One small, fast experiment config as a batch-spec dict."""
+    return {
+        "workload": "sp.D",
+        "topology": "daisychain",
+        "scale": "small",
+        "mechanism": "VWL+ROO",
+        "policy": "aware",
+        "alpha": 0.05,
+        "window_ns": window_ns,
+        "epoch_ns": EPOCH_NS,
+        "seed": seed,
+        "fault_spec": fault_spec,
+    }
+
+
+def cli(*args: str) -> list:
+    return [sys.executable, "-m", "repro.cli", *args]
+
+
+def journal_records(path: Path) -> list:
+    records = []
+    if path.exists():
+        for line in path.read_text().splitlines():
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                pass  # torn tail line from the SIGKILL
+    return records
+
+
+def check(cond: bool, what: str) -> None:
+    if not cond:
+        print(f"FAIL: {what}", file=sys.stderr)
+        sys.exit(1)
+    print(f"  ok: {what}")
+
+
+def scenario_worker_death(tmp: Path) -> None:
+    """A sweep survives a worker that SIGKILLs itself mid-run."""
+    print("[1/2] worker death mid-sweep")
+    spec = tmp / "batch_a.json"
+    journal = tmp / "a.journal"
+    out = tmp / "a.json"
+    faulted = "seed=7,crc=0.2,crc_bursts=3,burst_ns=6000,down=1,stall=2"
+    spec.write_text(json.dumps([
+        base_config(1),
+        base_config(2),
+        base_config(3, fault_spec=faulted),
+        base_config(4, fault_spec="die=1"),
+    ]))
+    proc = subprocess.run(
+        cli("batch", str(spec), "--jobs", "2", "--no-cache",
+            "--timeout", "300", "--retries", "1",
+            "--journal", str(journal), "--out-json", str(out)),
+        capture_output=True, text=True, timeout=600,
+    )
+    check(proc.returncode == 3,
+          f"batch with a dying worker exits 3 (got {proc.returncode})")
+    recs = journal_records(journal)
+    done = [r for r in recs if r["kind"] == "done"]
+    failed = [r for r in recs if r["kind"] == "failed"]
+    check(len({r["key"] for r in done}) == 3,
+          "journal has the 3 healthy results")
+    check(len(failed) >= 1 and failed[-1]["error_type"] == "crash",
+          "the SIGKILLed worker is journaled as a crash failure")
+    check(failed[-1]["attempts"] >= 2, "the crash was retried before failing")
+    saved = json.loads(out.read_text())
+    check(len(saved) == 3, "healthy results were saved, the failure withheld")
+    check("FAILED" in proc.stderr, "the failure is reported on stderr")
+
+
+def scenario_sweep_death(tmp: Path) -> None:
+    """A SIGKILLed sweep finishes under --resume without re-simulating."""
+    print("[2/2] sweep SIGKILL + --resume")
+    spec = tmp / "batch_b.json"
+    journal = tmp / "b.journal"
+    total = 8
+    # Longer windows than scenario 1 so the kill lands mid-sweep even
+    # on a fast host: ~8x the simulated time per experiment.
+    spec.write_text(json.dumps(
+        [base_config(10 + i, window_ns=1_000_000.0) for i in range(total)]
+    ))
+    argv = cli("batch", str(spec), "--jobs", "2", "--no-cache",
+               "--journal", str(journal))
+    sweep = subprocess.Popen(
+        argv, start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        if any(r["kind"] == "done" for r in journal_records(journal)):
+            break
+        if sweep.poll() is not None:
+            break
+        time.sleep(0.02)
+    check(sweep.poll() is None, "sweep still running when the kill lands")
+    os.killpg(sweep.pid, signal.SIGKILL)  # takes the worker pool down too
+    sweep.wait(timeout=60)
+    checkpointed = len(
+        {r["key"] for r in journal_records(journal) if r["kind"] == "done"}
+    )
+    check(0 < checkpointed < total,
+          f"sweep died mid-run with {checkpointed}/{total} checkpointed")
+
+    resume = subprocess.run(
+        argv + ["--resume"], capture_output=True, text=True, timeout=600,
+    )
+    check(resume.returncode == 0, "--resume completes the sweep cleanly")
+    done = {r["key"] for r in journal_records(journal) if r["kind"] == "done"}
+    check(len(done) == total, f"journal holds all {total} results after resume")
+    m = re.search(r"# (\d+) simulated", resume.stderr)
+    check(m is not None and int(m.group(1)) <= total - checkpointed,
+          "resume simulated only the remainder "
+          f"({m.group(1) if m else '?'} <= {total - checkpointed})")
+    check("journal replays" in resume.stderr,
+          "resume reports the journal replays")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        scenario_worker_death(Path(tmp))
+        scenario_sweep_death(Path(tmp))
+    print("chaos smoke: all scenarios passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,10 +13,16 @@ The ``figure`` subcommand accepts: fig4, fig5, fig6, fig8, fig9, fig11,
 fig12, fig13, fig15, fig16, fig17, fig18, sec7.
 
 Simulating subcommands (``run``, ``figure``, ``sweep-alpha``, ``batch``)
-share three execution flags: ``--jobs N`` fans cache misses out over a
+share the execution flags: ``--jobs N`` fans cache misses out over a
 process pool, ``--cache-dir PATH`` relocates the persistent result
-cache (default ``~/.cache/repro-mnet``, or ``$REPRO_CACHE_DIR``), and
-``--no-cache`` disables the disk cache for that invocation.
+cache (default ``~/.cache/repro-mnet``, or ``$REPRO_CACHE_DIR``),
+``--no-cache`` disables the disk cache for that invocation, and
+``--timeout SECS`` / ``--retries N`` bound each experiment's wall clock
+and retry crashed/hung workers (see docs/resilience.md).
+
+``sweep-alpha`` and ``batch`` additionally accept ``--journal PATH`` to
+checkpoint every outcome as it lands, and ``--resume`` to replay a
+previous journal instead of re-simulating completed work.
 """
 
 from __future__ import annotations
@@ -26,11 +32,12 @@ import sys
 
 from repro.core.mechanisms import MECHANISM_NAMES
 from repro.harness.diskcache import DiskCache
-from repro.harness.executor import make_executor
+from repro.harness.executor import FailedResult, make_executor
 from repro.harness.experiment import ExperimentConfig, POLICY_NAMES
 from repro.harness import figures as F
+from repro.harness.journal import SweepJournal
 from repro.harness.report import format_table
-from repro.harness.sweep import SweepRunner
+from repro.harness.sweep import ExperimentFailedError, SweepRunner
 from repro.obs import ALL_CATEGORIES, TRACE_FORMATS
 from repro.network.topology import TOPOLOGY_BUILDERS, TOPOLOGY_NAMES
 from repro.workloads import WORKLOAD_NAMES, get_profile
@@ -44,7 +51,17 @@ def _make_runner(args) -> SweepRunner:
         disk = None if args.no_cache else DiskCache(args.cache_dir)
     except NotADirectoryError as exc:
         raise SystemExit(f"error: {exc}")
-    return SweepRunner(executor=make_executor(args.jobs), disk_cache=disk)
+    executor = make_executor(
+        args.jobs,
+        timeout_s=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 0),
+    )
+    runner = SweepRunner(executor=executor, disk_cache=disk)
+    if getattr(args, "resume", False) and not getattr(args, "journal", None):
+        raise SystemExit("error: --resume requires --journal PATH")
+    if getattr(args, "journal", None):
+        runner.attach_journal(SweepJournal(args.journal, resume=args.resume))
+    return runner
 
 
 def _print_run_stats(runner: SweepRunner) -> None:
@@ -53,10 +70,19 @@ def _print_run_stats(runner: SweepRunner) -> None:
     disk_part = (
         f", {runner.disk_hits} disk hits" if disk is not None else ", disk cache off"
     )
+    if disk is not None and disk.quarantined:
+        disk_part += f", {disk.quarantined} quarantined"
     traced_part = f", {runner.traced_runs} traced" if runner.traced_runs else ""
+    journal_part = (
+        f", {runner.journal_hits} journal replays"
+        if runner.journal is not None
+        else ""
+    )
+    failed_part = f", {len(runner.failures)} FAILED" if runner.failures else ""
     print(
         f"# {runner.runs} simulated ({runner.sim_wall_time_s:.1f}s sim time), "
-        f"{runner.memory_hits} memory hits{disk_part}{traced_part}",
+        f"{runner.memory_hits} memory hits{disk_part}{journal_part}"
+        f"{traced_part}{failed_part}",
         file=sys.stderr,
     )
 
@@ -92,13 +118,18 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         wake_ns=args.wake_ns,
         mapping=args.mapping,
+        fault_spec=args.faults,
         trace_path=args.trace,
         trace_format=args.trace_format,
         trace_categories=args.trace_categories,
         metrics_path=args.metrics_out,
     )
     runner = _make_runner(args)
-    result = runner.run(config)
+    try:
+        result = runner.run(config)
+    except ExperimentFailedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     rows = [
         ["modules", result.num_modules],
         ["power per HMC", f"{result.power_per_hmc_w:.3f} W"],
@@ -117,6 +148,14 @@ def _cmd_run(args) -> int:
         ["events processed", result.events_processed],
         ["sim wall time", f"{result.wall_time_s:.2f} s"],
     ]
+    if config.fault_spec:
+        rows[-1:-1] = [
+            ["fault events", result.fault_events],
+            ["link retries (flits)",
+             f"{result.link_retries} ({result.retry_flits})"],
+            ["retry time", f"{result.retry_time_ns:.0f} ns"],
+            ["vault stalls", result.vault_stalls],
+        ]
     title = (f"{config.workload} on {config.scale} {config.topology}, "
              f"{config.mechanism}/{config.policy}")
     print(format_table(["metric", "value"], rows, title=title))
@@ -209,6 +248,25 @@ def build_parser() -> argparse.ArgumentParser:
     exec_group.add_argument(
         "--no-cache", action="store_true",
         help="skip the persistent result cache for this invocation")
+    exec_group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECS",
+        help="per-experiment wall-clock budget; hung workers are killed "
+             "and recorded as structured failures (default: none)")
+    exec_group.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-attempts for crashed/timed-out experiments "
+             "(deterministic simulation errors are never retried; default: 0)")
+
+    journal_flags = argparse.ArgumentParser(add_help=False)
+    journal_group = journal_flags.add_argument_group("checkpointing")
+    journal_group.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append every experiment outcome to a JSONL checkpoint "
+             "journal as it completes (see docs/resilience.md)")
+    journal_group.add_argument(
+        "--resume", action="store_true",
+        help="replay --journal before running: completed results are "
+             "reused, failed/missing configs are (re-)run")
 
     sub.add_parser("list", help="list workloads, topologies, mechanisms")
 
@@ -228,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["contiguous", "interleaved"])
     run_p.add_argument("--baseline", action="store_true",
                        help="also run the full-power baseline and compare")
+    run_p.add_argument(
+        "--faults", default="", metavar="SPEC",
+        help="fault-injection spec, e.g. "
+             "'seed=7,crc=0.01,crc_bursts=4,down=2' "
+             "(see docs/resilience.md for the key reference)")
     obs_group = run_p.add_argument_group("observability")
     obs_group.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -251,7 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_p = sub.add_parser("sweep-alpha",
                              help="trade-off curve over alpha values",
-                             parents=[exec_flags])
+                             parents=[exec_flags, journal_flags])
     sweep_p.add_argument("--workload", default="mg.D", choices=WORKLOAD_NAMES)
     sweep_p.add_argument("--topology", default="star",
                          choices=sorted(TOPOLOGY_BUILDERS))
@@ -265,7 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--epoch-us", type=float, default=20.0)
 
     batch_p = sub.add_parser("batch", help="run a JSON batch spec",
-                             parents=[exec_flags])
+                             parents=[exec_flags, journal_flags])
     batch_p.add_argument("spec", help="batch spec file (see harness.io.load_batch)")
     batch_p.add_argument("--out-json", help="write results as JSON")
     batch_p.add_argument("--out-csv", help="write results as CSV")
@@ -332,7 +395,13 @@ def _cmd_sweep_alpha(args) -> int:
     runner.run_all(
         [config.replace(alpha=a) for a in args.alphas] + [config.baseline()]
     )
-    points = sweep_alpha(runner, config, alphas=args.alphas)
+    try:
+        points = sweep_alpha(runner, config, alphas=args.alphas)
+    except ExperimentFailedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        _print_run_stats(runner)
+        _close_journal(runner)
+        return 3
     rows = [
         [f"{p.alpha:.1%}", f"{p.power_saved:.1%}", f"{p.degradation:.2%}"]
         for p in points
@@ -351,7 +420,13 @@ def _cmd_sweep_alpha(args) -> int:
     frontier = pareto_frontier(points)
     print(f"\nPareto-optimal points: {len(frontier)}/{len(points)}")
     _print_run_stats(runner)
+    _close_journal(runner)
     return 0
+
+
+def _close_journal(runner: SweepRunner) -> None:
+    if runner.journal is not None:
+        runner.journal.close()
 
 
 def _cmd_trace(args) -> int:
@@ -483,18 +558,32 @@ def _cmd_batch(args) -> int:
     configs = load_batch(args.spec)
     print(f"Running {len(configs)} experiments from {args.spec} ...")
     runner = _make_runner(args)
-    results = runner.run_all(configs)
-    for i, (config, result) in enumerate(zip(configs, results), 1):
-        print(f"  [{i}/{len(configs)}] {config.workload}/{config.topology}/"
-              f"{config.mechanism}/{config.policy}: "
-              f"{result.power_per_hmc_w:.2f} W/HMC")
+    outcomes = runner.run_all(configs)
+    failed = 0
+    for i, (config, outcome) in enumerate(zip(configs, outcomes), 1):
+        label = (f"{config.workload}/{config.topology}/"
+                 f"{config.mechanism}/{config.policy}")
+        if isinstance(outcome, FailedResult):
+            failed += 1
+            print(f"  [{i}/{len(configs)}] {label}: "
+                  f"FAILED [{outcome.error_type}] {outcome.message}")
+        else:
+            print(f"  [{i}/{len(configs)}] {label}: "
+                  f"{outcome.power_per_hmc_w:.2f} W/HMC")
     _print_run_stats(runner)
+    results = [o for o in outcomes if not isinstance(o, FailedResult)]
     if args.out_json:
         save_results_json(args.out_json, results)
         print(f"Wrote {args.out_json}")
     if args.out_csv:
         save_results_csv(args.out_csv, results)
         print(f"Wrote {args.out_csv}")
+    _close_journal(runner)
+    if failed:
+        print(f"{failed}/{len(configs)} experiments failed "
+              f"(re-run with --journal/--resume to retry just those)",
+              file=sys.stderr)
+        return 3
     return 0
 
 

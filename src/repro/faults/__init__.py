@@ -1,0 +1,35 @@
+"""Deterministic fault injection (see ``docs/resilience.md``).
+
+Public surface:
+
+* :func:`parse_fault_spec` / :class:`FaultSpec` -- the compact textual
+  grammar carried by ``ExperimentConfig.fault_spec``;
+* :func:`build_plan` / :class:`FaultPlan` / :class:`FaultEvent` -- the
+  seed-deterministic schedule of fault windows;
+* :class:`FaultInjector` -- attaches a plan to a built network;
+* :func:`execute_sabotage` -- chaos-testing directives for the hardened
+  execution harness (crash / die / hang).
+"""
+
+from repro.faults.inject import FaultInjector, VaultFaultTable
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    build_plan,
+    execute_sabotage,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
+    "VaultFaultTable",
+    "build_plan",
+    "execute_sabotage",
+    "parse_fault_spec",
+]

@@ -1,0 +1,93 @@
+"""Installing a :class:`~repro.faults.plan.FaultPlan` into a network.
+
+The injector is the only piece that knows both sides: the plan (what
+should go wrong) and the simulation objects (where the hooks live).
+Link-level windows become :class:`~repro.network.links.LinkFaultState`
+objects attached to the targeted controllers' ``faults`` slot; vault
+stall windows become a :class:`VaultFaultTable` attached to
+``network.vault_faults``.  Untargeted links keep ``faults is None`` so
+the fault-free hot path pays a single attribute test, exactly like the
+tracing layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.network.links import LinkFaultState
+
+__all__ = ["FaultInjector", "VaultFaultTable"]
+
+
+class VaultFaultTable:
+    """Per-module vault-stall windows plus their hit counters."""
+
+    __slots__ = ("windows", "stalls", "stall_time_ns", "trace")
+
+    def __init__(
+        self, windows: Dict[int, List[Tuple[float, float, float]]]
+    ) -> None:
+        #: module index -> sorted ``(start, end, stall_ns)`` windows.
+        self.windows = {m: sorted(w) for m, w in windows.items()}
+        self.stalls = 0
+        self.stall_time_ns = 0.0
+        #: Optional tracer (``fault`` category).
+        self.trace: Optional[Any] = None
+
+    def stall_ns(self, module: int, now: float) -> float:
+        """Extra latency for an access to ``module`` at ``now`` (0 if none)."""
+        wins = self.windows.get(module)
+        if not wins:
+            return 0.0
+        for start, end, stall in wins:
+            if start <= now < end:
+                self.stalls += 1
+                self.stall_time_ns += stall
+                if self.trace is not None:
+                    self.trace.emit(
+                        now, "fault", "fault.vault_stall",
+                        module=module, stall_ns=stall,
+                    )
+                return stall
+        return 0.0
+
+
+class FaultInjector:
+    """Wires a plan's windows into link controllers and the network."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        #: Installed per-link fault states (for result aggregation).
+        self.link_states: List[LinkFaultState] = []
+        self.vault_table: Optional[VaultFaultTable] = None
+
+    def install(self, network) -> "FaultInjector":
+        """Attach fault state to ``network``; returns self for chaining.
+
+        Links are addressed by construction order so the per-link CRC
+        draw seed -- ``spec.seed`` mixed with the link index -- is
+        identical in every process that builds the same topology.
+        """
+        spec = self.plan.spec
+        for index, link in enumerate(network.all_links()):
+            events = self.plan.events_for_link(link.name)
+            if not events:
+                continue
+            state = LinkFaultState(
+                seed=spec.seed * 1_000_003 + index,
+                crc=[(e.start_ns, e.end_ns, e.magnitude)
+                     for e in events if e.kind == "crc"],
+                down=[(e.start_ns, e.end_ns)
+                      for e in events if e.kind == "down"],
+                degrade=[(e.start_ns, e.end_ns, e.magnitude)
+                         for e in events if e.kind == "degrade"],
+                retry_ns=spec.retry_ns,
+            )
+            link.faults = state
+            self.link_states.append(state)
+        vault_windows = self.plan.vault_windows()
+        if vault_windows:
+            self.vault_table = VaultFaultTable(vault_windows)
+            network.vault_faults = self.vault_table
+        return self

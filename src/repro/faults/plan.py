@@ -1,0 +1,311 @@
+"""Seed-deterministic fault plans: what goes wrong, where, and when.
+
+A fault plan is a *schedule* of perturbation windows generated up front
+from a compact textual spec (:func:`parse_fault_spec`), so the same
+``(spec, topology, window)`` always yields the same faults regardless of
+execution order, worker process, or Python hash randomization.  Four
+fault kinds model the transient misbehaviour real HMC links and vaults
+exhibit (Section II of the paper describes the link architecture; the
+HMC specification's CRC-based link retry motivates the error model):
+
+``crc``
+    A burst window during which each packet transmission on one link
+    fails CRC with a given probability and must be retransmitted by the
+    link-retry model in :mod:`repro.network.links`.
+``down``
+    A window during which one link cannot start transmissions at all
+    (training/retraining outage); queued packets wait it out.
+``degrade``
+    A window during which one link's lanes run degraded: every flit
+    takes ``magnitude`` times longer to serialize.
+``vault_stall``
+    A window during which every DRAM access to one module is delayed by
+    ``magnitude`` ns (refresh storms, thermal throttling).
+
+The spec grammar is a comma- or semicolon-separated list of
+``key=value`` pairs, e.g.::
+
+    seed=7,crc=0.02,crc_bursts=3,burst_ns=5000,down=1,down_ns=2000
+
+Unknown keys and malformed values raise :class:`FaultSpecError` so a
+bad spec fails at :class:`~repro.harness.experiment.ExperimentConfig`
+construction, not mid-sweep.
+
+Three additional *sabotage* directives exist purely to test the
+hardened execution harness (``docs/resilience.md``): ``crash=1`` raises
+inside the worker, ``die=1`` SIGKILLs the worker process, and
+``hang=SECS`` sleeps for a finite number of wall-clock seconds.  They
+never appear in paper-facing experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from random import Random
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "FaultSpecError",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultPlan",
+    "parse_fault_spec",
+    "build_plan",
+    "execute_sabotage",
+]
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Parsed fault parameters (all windows are drawn from ``seed``)."""
+
+    #: RNG seed for placing fault windows (independent of workload seed).
+    seed: int = 1
+    #: Per-packet CRC-error probability inside a burst window.
+    crc: float = 0.0
+    #: Number of CRC burst windows across the run.
+    crc_bursts: int = 0
+    #: Duration of each CRC burst window (ns).
+    burst_ns: float = 4_000.0
+    #: Number of transient link-down windows.
+    down: int = 0
+    #: Duration of each link-down window (ns).
+    down_ns: float = 2_000.0
+    #: Number of degraded-lane windows.
+    degrade: int = 0
+    #: Flit-time multiplier while degraded (>= 1).
+    degrade_factor: float = 2.0
+    #: Duration of each degraded-lane window (ns).
+    degrade_ns: float = 8_000.0
+    #: Number of vault-stall windows.
+    stall: int = 0
+    #: Extra latency added to each DRAM access in a stall window (ns).
+    stall_ns: float = 200.0
+    #: Duration of each vault-stall window (ns).
+    stall_win_ns: float = 4_000.0
+    #: Retry turnaround: CRC detection + retry request + pointer rollback
+    #: before the retransmission starts (ns).
+    retry_ns: float = 48.0
+    #: Sabotage (harness chaos testing only): raise in the worker.
+    crash: bool = False
+    #: Sabotage: SIGKILL the worker process.
+    die: bool = False
+    #: Sabotage: sleep this many wall-clock seconds in the worker.
+    hang: float = 0.0
+
+    @property
+    def wants_link_faults(self) -> bool:
+        """Whether any link-level fault windows would be generated."""
+        return (
+            (self.crc_bursts > 0 and self.crc > 0.0)
+            or self.down > 0
+            or self.degrade > 0
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        """No fault windows and no sabotage: simulation-equivalent to ''."""
+        return not (
+            self.wants_link_faults
+            or self.stall > 0
+            or self.crash
+            or self.die
+            or self.hang > 0
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault window.
+
+    ``kind`` is ``"crc"`` / ``"down"`` / ``"degrade"`` (``target`` is a
+    link name) or ``"vault_stall"`` (``target`` is a module index as a
+    string).  ``magnitude`` is the CRC error rate, the degrade factor,
+    or the per-access stall in ns; unused (0.0) for ``down``.
+    """
+
+    kind: str
+    target: str
+    start_ns: float
+    end_ns: float
+    magnitude: float = 0.0
+
+
+_INT_KEYS = ("seed", "crc_bursts", "down", "degrade", "stall")
+_FLOAT_KEYS = (
+    "crc",
+    "burst_ns",
+    "down_ns",
+    "degrade_factor",
+    "degrade_ns",
+    "stall_ns",
+    "stall_win_ns",
+    "retry_ns",
+    "hang",
+)
+_BOOL_KEYS = ("crash", "die")
+
+
+def parse_fault_spec(spec: str) -> FaultSpec:
+    """Parse ``key=value[,key=value...]`` into a :class:`FaultSpec`.
+
+    Both ``,`` and ``;`` separate pairs; whitespace around keys and
+    values is ignored.  An empty/whitespace spec yields the all-zero
+    (no-op) spec.  Raises :class:`FaultSpecError` on unknown keys,
+    malformed pairs, or out-of-range values.
+    """
+    values: Dict[str, object] = {}
+    for raw in spec.replace(";", ",").split(","):
+        pair = raw.strip()
+        if not pair:
+            continue
+        key, sep, val = pair.partition("=")
+        key = key.strip()
+        val = val.strip()
+        if not sep or not key or not val:
+            raise FaultSpecError(
+                f"malformed fault spec entry {pair!r} (expected key=value)"
+            )
+        try:
+            if key in _INT_KEYS:
+                values[key] = int(val)
+            elif key in _FLOAT_KEYS:
+                values[key] = float(val)
+            elif key in _BOOL_KEYS:
+                values[key] = val not in ("0", "false", "no")
+            else:
+                known = ", ".join(f.name for f in fields(FaultSpec))
+                raise FaultSpecError(
+                    f"unknown fault spec key {key!r} (known: {known})"
+                )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, FaultSpecError):
+                raise
+            raise FaultSpecError(
+                f"bad value for fault spec key {key!r}: {val!r}"
+            ) from exc
+    out = FaultSpec(**values)  # type: ignore[arg-type]
+    if not 0.0 <= out.crc <= 1.0:
+        raise FaultSpecError(f"crc rate must be in [0, 1], got {out.crc}")
+    if out.degrade_factor < 1.0:
+        raise FaultSpecError(
+            f"degrade_factor must be >= 1, got {out.degrade_factor}"
+        )
+    for name in ("crc_bursts", "down", "degrade", "stall"):
+        if getattr(out, name) < 0:
+            raise FaultSpecError(f"{name} must be >= 0")
+    for name in ("burst_ns", "down_ns", "degrade_ns", "stall_ns",
+                 "stall_win_ns", "retry_ns", "hang"):
+        if getattr(out, name) < 0:
+            raise FaultSpecError(f"{name} must be >= 0")
+    return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A fully materialized fault schedule for one experiment."""
+
+    spec: FaultSpec
+    events: Tuple[FaultEvent, ...]
+
+    def events_for_link(self, name: str) -> List[FaultEvent]:
+        """Link-level fault windows targeting link ``name``."""
+        return [
+            e for e in self.events
+            if e.target == name and e.kind in ("crc", "down", "degrade")
+        ]
+
+    def vault_windows(self) -> Dict[int, List[Tuple[float, float, float]]]:
+        """Module index -> list of ``(start, end, stall_ns)`` windows."""
+        out: Dict[int, List[Tuple[float, float, float]]] = {}
+        for e in self.events:
+            if e.kind == "vault_stall":
+                out.setdefault(int(e.target), []).append(
+                    (e.start_ns, e.end_ns, e.magnitude)
+                )
+        return out
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by kind (for traces and reports)."""
+        counts: Dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return counts
+
+
+def _window_start(rng: Random, window_ns: float, dur_ns: float) -> float:
+    """A uniformly placed window start, clamped to fit when possible."""
+    return rng.uniform(0.0, max(0.0, window_ns - dur_ns))
+
+
+def build_plan(
+    spec: FaultSpec, link_names: Sequence[str], num_modules: int,
+    window_ns: float,
+) -> FaultPlan:
+    """Materialize ``spec`` into a deterministic schedule.
+
+    Windows are drawn from ``random.Random(spec.seed)`` in a fixed
+    order (crc, down, degrade, vault_stall), targeting links by their
+    position in ``link_names`` (the network's deterministic
+    construction order) -- never by hash, so plans are bit-identical
+    across processes and executors.
+    """
+    rng = Random(spec.seed)
+    names = list(link_names)
+    events: List[FaultEvent] = []
+    if names and spec.crc > 0.0:
+        for _ in range(spec.crc_bursts):
+            start = _window_start(rng, window_ns, spec.burst_ns)
+            events.append(FaultEvent(
+                "crc", names[rng.randrange(len(names))],
+                start, start + spec.burst_ns, spec.crc,
+            ))
+    if names:
+        for _ in range(spec.down):
+            start = _window_start(rng, window_ns, spec.down_ns)
+            events.append(FaultEvent(
+                "down", names[rng.randrange(len(names))],
+                start, start + spec.down_ns,
+            ))
+        for _ in range(spec.degrade):
+            start = _window_start(rng, window_ns, spec.degrade_ns)
+            events.append(FaultEvent(
+                "degrade", names[rng.randrange(len(names))],
+                start, start + spec.degrade_ns, spec.degrade_factor,
+            ))
+    if num_modules > 0:
+        for _ in range(spec.stall):
+            start = _window_start(rng, window_ns, spec.stall_win_ns)
+            events.append(FaultEvent(
+                "vault_stall", str(rng.randrange(num_modules)),
+                start, start + spec.stall_win_ns, spec.stall_ns,
+            ))
+    return FaultPlan(spec=spec, events=tuple(events))
+
+
+def execute_sabotage(spec: FaultSpec) -> None:
+    """Run the chaos-testing directives (worker side, before simulating).
+
+    ``crash`` raises, ``die`` SIGKILLs the current process (simulating a
+    segfaulting/OOM-killed worker), ``hang`` sleeps for a *finite*
+    number of seconds (simulating a wedged worker a watchdog must
+    reclaim).  Order: hang, then die, then crash, so a spec combining
+    them exercises the watchdog first.
+    """
+    if spec.hang > 0:
+        import time
+
+        time.sleep(spec.hang)
+    if spec.die:
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    if spec.crash:
+        raise RuntimeError(
+            "fault spec sabotage: deliberate worker crash (crash=1)"
+        )

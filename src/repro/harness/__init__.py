@@ -3,6 +3,8 @@
 from repro.harness.diskcache import DiskCache, SCHEMA_VERSION, default_cache_dir
 from repro.harness.executor import (
     Executor,
+    ExperimentOutcome,
+    FailedResult,
     ParallelExecutor,
     SerialExecutor,
     make_executor,
@@ -44,7 +46,8 @@ from repro.harness.pareto import (
 )
 from repro.harness.report import format_percent, format_table, format_watts, print_table
 from repro.harness.stats import LatencyTracker, summarize
-from repro.harness.sweep import SweepRunner, grid_configs
+from repro.harness.journal import SweepJournal
+from repro.harness.sweep import ExperimentFailedError, SweepRunner, grid_configs
 
 __all__ = [
     "ExperimentConfig",
@@ -61,6 +64,10 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",
+    "FailedResult",
+    "ExperimentOutcome",
+    "ExperimentFailedError",
+    "SweepJournal",
     "DiskCache",
     "SCHEMA_VERSION",
     "default_cache_dir",

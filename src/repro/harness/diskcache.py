@@ -16,7 +16,10 @@ environment variable.  Entries are written atomically (tempfile +
 rename) so concurrent writers -- e.g. a :class:`ParallelExecutor` batch
 feeding one cache, or two CLI invocations racing -- at worst do
 duplicate work, never corrupt an entry.  Unreadable or truncated files
-are treated as misses and removed.
+are treated as misses and moved aside into a ``quarantine/``
+subdirectory (so a recurring corruption source stays diagnosable
+instead of silently vanishing); the ``quarantined`` counter surfaces
+how often that happened.
 """
 
 from __future__ import annotations
@@ -56,6 +59,7 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     @property
     def schema_tag(self) -> str:
@@ -84,15 +88,31 @@ class DiskCache:
             self.misses += 1
             return None
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # Corrupt or half-written entry: drop it and re-simulate.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Corrupt or half-written entry: quarantine it (keeps the
+            # evidence for diagnosis) and re-simulate.
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry into ``quarantine/`` (unlink as fallback).
+
+        The quarantine directory sits *inside* the schema-tagged
+        directory but its entries are never globbed by ``__len__`` nor
+        looked up by ``get`` -- they only exist for post-mortems.
+        """
+        target = self.directory / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1
 
     def put(self, config: ExperimentConfig, result: ExperimentResult) -> Path:
         """Persist ``result`` under ``config``'s key; returns the path."""

@@ -75,6 +75,11 @@ class ExperimentConfig:
     seed: int = 1
     wake_ns: float = 14.0
     mapping: str = "contiguous"
+    #: Fault-injection spec (``""`` disables faults entirely).  A
+    #: comma-separated ``key=value`` list parsed by
+    #: :func:`repro.faults.parse_fault_spec`; *included* in
+    #: :meth:`cache_key` because faults change what is simulated.
+    fault_spec: str = ""
     collect_link_hours: bool = False
     #: Observability (excluded from :meth:`cache_key`): structured trace
     #: destination/format/categories and per-epoch metrics JSON path.
@@ -110,6 +115,12 @@ class ExperimentConfig:
             )
         # Fail fast on bad category specs even when tracing is off.
         parse_categories(self.trace_categories or None)
+        if self.fault_spec:
+            # Fail fast on bad fault specs too (FaultSpecError is a
+            # ValueError, matching the other validation failures here).
+            from repro.faults import parse_fault_spec
+
+            parse_fault_spec(self.fault_spec)
 
     def replace(self, **changes) -> "ExperimentConfig":
         """A copy of this config with the given fields replaced."""
@@ -124,6 +135,9 @@ class ExperimentConfig:
         no policy there is no budget to apply and with no low-power
         mechanism there is nothing to wake, so distinct values would
         only split the cache key across identical simulations.
+
+        ``fault_spec`` is *kept*: faults are environment, not
+        management, so a faulted run's baseline sees the same faults.
         """
         return self.replace(
             mechanism="FP",
@@ -171,6 +185,15 @@ class ExperimentResult:
     epochs: int = 0
     #: Structured trace events emitted (0 when tracing is disabled).
     trace_events: int = 0
+    #: Fault injection (all 0 when ``fault_spec`` is empty): CRC
+    #: retransmissions across all links, the flits they re-sent, the
+    #: wire time spent on retry turnaround + replays, delayed DRAM
+    #: accesses, and the number of scheduled fault windows.
+    link_retries: int = 0
+    retry_flits: int = 0
+    retry_time_ns: float = 0.0
+    vault_stalls: int = 0
+    fault_events: int = 0
     link_hours: Optional[Dict[Tuple[str, int], float]] = None
     #: Run instrumentation: simulator events executed (deterministic)
     #: and wall-clock seconds spent building + running the simulation
@@ -208,6 +231,14 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
     benchmarks to run modified network-aware variants).
     """
     start = time.perf_counter()
+    fault_plan = None
+    if config.fault_spec:
+        from repro.faults import build_plan, execute_sabotage, parse_fault_spec
+
+        fault_spec = parse_fault_spec(config.fault_spec)
+        # Chaos directives (crash/die/hang) fire before any build work:
+        # they exist to exercise the hardened executors, not the model.
+        execute_sabotage(fault_spec)
     profile = get_profile(config.workload)
     if config.mapping == "interleaved":
         mapping = page_interleaved_mapping(profile.footprint_gb, config.scale)
@@ -224,6 +255,18 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
         mapping,
         power_model=DEFAULT_POWER_MODEL,
     )
+
+    if config.fault_spec:
+        from repro.faults import FaultInjector
+
+        fault_plan = build_plan(
+            fault_spec,
+            [link.name for link in network.all_links()],
+            topology.num_modules,
+            config.window_ns,
+        )
+        if fault_plan.events:
+            FaultInjector(fault_plan).install(network)
 
     policy = None
     collector = None
@@ -274,6 +317,15 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
                 modules=topology.num_modules,
             )
             install_tracer(tracer, sim=sim, network=network, policy=policy)
+            if fault_plan is not None and tracer.wants("fault"):
+                tracer.emit(
+                    0.0,
+                    "fault",
+                    "fault.plan",
+                    spec=config.fault_spec,
+                    events=len(fault_plan.events),
+                    **fault_plan.summary(),
+                )
         if config.metrics_path is not None:
             registry = MetricsRegistry()
             observers.append(EpochLinkMetrics(registry, sim))
@@ -313,6 +365,20 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
     if registry is not None:
         registry.write_json(config.metrics_path)
 
+    link_retries = 0
+    retry_flits = 0
+    retry_time_ns = 0.0
+    vault_stalls = 0
+    fault_events = 0
+    if fault_plan is not None:
+        fault_events = len(fault_plan.events)
+        for link in network.all_links():
+            link_retries += link.retries
+            retry_flits += link.retry_flits
+            retry_time_ns += link.retry_time_ns
+        if network.vault_faults is not None:
+            vault_stalls = network.vault_faults.stalls
+
     breakdown = PowerBreakdown.from_ledgers(
         (m.ledger for m in network.modules),
         config.window_ns,
@@ -333,6 +399,11 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
         violations=getattr(policy, "violations", 0),
         epochs=getattr(policy, "epochs_run", 0),
         trace_events=trace_events,
+        link_retries=link_retries,
+        retry_flits=retry_flits,
+        retry_time_ns=retry_time_ns,
+        vault_stalls=vault_stalls,
+        fault_events=fault_events,
         link_hours=collector.hours if collector is not None else None,
         events_processed=sim.events_processed,
         wall_time_s=time.perf_counter() - start,

@@ -42,7 +42,7 @@ __all__ = [
 #: Flat result columns, in CSV order.
 RESULT_FIELDS: Sequence[str] = (
     "workload", "topology", "scale", "mechanism", "policy", "alpha",
-    "seed", "num_modules",
+    "seed", "fault_spec", "num_modules",
     "power_per_hmc_w", "network_power_w",
     "idle_io_w", "active_io_w", "logic_leak_w", "logic_dyn_w",
     "dram_leak_w", "dram_dyn_w",
@@ -51,6 +51,8 @@ RESULT_FIELDS: Sequence[str] = (
     "channel_utilization", "link_utilization", "avg_modules_traversed",
     "completed_reads", "completed_writes", "epochs", "violations",
     "events_processed",
+    "link_retries", "retry_flits", "retry_time_ns",
+    "vault_stalls", "fault_events",
 )
 
 
@@ -80,6 +82,7 @@ def result_to_dict(result: ExperimentResult) -> Dict:
         "policy": cfg.policy,
         "alpha": cfg.alpha,
         "seed": cfg.seed,
+        "fault_spec": cfg.fault_spec,
         "num_modules": result.num_modules,
         "power_per_hmc_w": result.power_per_hmc_w,
         "network_power_w": result.network_power_w,
@@ -102,6 +105,11 @@ def result_to_dict(result: ExperimentResult) -> Dict:
         "epochs": result.epochs,
         "violations": result.violations,
         "events_processed": result.events_processed,
+        "link_retries": result.link_retries,
+        "retry_flits": result.retry_flits,
+        "retry_time_ns": result.retry_time_ns,
+        "vault_stalls": result.vault_stalls,
+        "fault_events": result.fault_events,
     }
 
 
@@ -119,6 +127,11 @@ _CACHE_SCALARS: Sequence[str] = (
     "violations",
     "epochs",
     "trace_events",
+    "link_retries",
+    "retry_flits",
+    "retry_time_ns",
+    "vault_stalls",
+    "fault_events",
     "events_processed",
     "wall_time_s",
 )

@@ -1,0 +1,140 @@
+"""Sweep checkpoint journal: crash-safe progress for long batches.
+
+A :class:`SweepJournal` is an append-only JSONL file recording the final
+outcome of every experiment in a sweep as soon as it is known -- one
+line per outcome, flushed immediately, so a sweep killed at any point
+(crash, OOM, SIGKILL, power loss) leaves a prefix of valid lines behind.
+Re-running the sweep with ``resume=True`` replays that prefix: completed
+results seed the runner's cache (no re-simulation), previously *failed*
+configs are retried, and a torn final line -- the one the kill
+interrupted -- is skipped and counted, never fatal.
+
+Line shapes::
+
+    {"kind": "done",   "key": K, "result": {<cache dict>}}
+    {"kind": "failed", "key": K, "error_type": "...", "message": "...",
+     "attempts": N, "config": {<config dict>}}
+
+``key`` is :meth:`ExperimentConfig.cache_key`, the same identity the
+result caches use.  A ``done`` line for a key supersedes any earlier
+``failed`` lines for it (a resumed retry that succeeds appends ``done``
+after the old ``failed``), and each key is journalled as ``done`` at
+most once per file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from repro.harness.executor import FailedResult
+from repro.harness.experiment import ExperimentResult
+from repro.harness.io import (
+    config_to_dict,
+    result_from_cache_dict,
+    result_to_cache_dict,
+)
+
+__all__ = ["SweepJournal"]
+
+
+class SweepJournal:
+    """Append-only JSONL outcome log with tolerant replay.
+
+    ``resume=False`` (the default) truncates any existing file and
+    starts fresh; ``resume=True`` first replays the existing file into
+    :attr:`results` / :attr:`failures` and then appends.  ``corrupt_lines``
+    counts unparseable/torn lines skipped during replay.
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool = False) -> None:
+        self.path = Path(path)
+        #: Replayed completed results by cache key (resume only).
+        self.results: Dict[str, ExperimentResult] = {}
+        #: Replayed failure records (dicts) by cache key, for keys with
+        #: no superseding ``done`` line; these are retried on resume.
+        self.failures: Dict[str, Dict] = {}
+        self.corrupt_lines = 0
+        self.records_written = 0
+        self._done_keys: Set[str] = set()
+        if resume and self.path.exists():
+            self._replay()
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[object] = open(self.path, "a" if resume else "w")
+
+    def _replay(self) -> None:
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    kind = record["kind"]
+                    key = record["key"]
+                    if kind == "done":
+                        self.results[key] = result_from_cache_dict(
+                            record["result"]
+                        )
+                        self._done_keys.add(key)
+                        self.failures.pop(key, None)
+                    elif kind == "failed":
+                        if key not in self._done_keys:
+                            self.failures[key] = record
+                    else:
+                        self.corrupt_lines += 1
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    # Torn tail line from a killed run, or garbage:
+                    # count it and move on -- resume must never fail
+                    # because the previous run died mid-write.
+                    self.corrupt_lines += 1
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_done(self, key: str, result: ExperimentResult) -> None:
+        """Checkpoint a completed result (idempotent per key)."""
+        if key in self._done_keys:
+            return
+        self._done_keys.add(key)
+        self._write(
+            {"kind": "done", "key": key, "result": result_to_cache_dict(result)}
+        )
+
+    def record_failed(self, key: str, failure: FailedResult) -> None:
+        """Checkpoint a structured failure (its config is kept so a
+        resumed run can retry it even if the batch spec changed)."""
+        self._write(
+            {
+                "kind": "failed",
+                "key": key,
+                "error_type": failure.error_type,
+                "message": failure.message,
+                "attempts": failure.attempts,
+                "config": config_to_dict(failure.config),
+            }
+        )
+
+    def _write(self, record: Dict) -> None:
+        if self._fh is None:
+            raise ValueError("journal is closed")
+        self._fh.write(json.dumps(record) + "\n")
+        # Flush per record: a killed process loses at most the line
+        # being written (which replay tolerates), never a flushed one.
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -18,6 +18,15 @@ is handled by :meth:`SweepRunner.run` re-simulating when the caller
 asked for link-hours a cached result does not carry.  Configs with a
 ``trace_path`` or ``metrics_path`` always re-simulate: their value is
 the side-effect file, which no cached result can produce.
+
+Hardening: executors report per-config failures as structured
+:class:`~repro.harness.executor.FailedResult` objects instead of
+raising, and the runner keeps the batch going -- failures are collected
+in :attr:`SweepRunner.failures` (and surfaced as entries in the
+:meth:`SweepRunner.run_all` output), never cached, and never silently
+retried within a process.  Attach a
+:class:`~repro.harness.journal.SweepJournal` to checkpoint every
+outcome as it lands, so a killed sweep resumes from where it died.
 """
 
 from __future__ import annotations
@@ -27,11 +36,30 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.harness.diskcache import DiskCache
-from repro.harness.executor import Executor, SerialExecutor
+from repro.harness.executor import (
+    Executor,
+    ExperimentOutcome,
+    FailedResult,
+    SerialExecutor,
+)
 from repro.harness.experiment import ExperimentConfig, ExperimentResult
+from repro.harness.journal import SweepJournal
 from repro.harness.metrics import performance_degradation
 
-__all__ = ["SweepRunner", "grid_configs"]
+__all__ = ["SweepRunner", "ExperimentFailedError", "grid_configs"]
+
+
+class ExperimentFailedError(RuntimeError):
+    """A single-experiment request could not produce a result.
+
+    Raised by :meth:`SweepRunner.run` (batch APIs return the
+    :class:`FailedResult` in-slot instead).  ``failure`` carries the
+    structured record: error kind, message, attempt count, config.
+    """
+
+    def __init__(self, failure: FailedResult) -> None:
+        super().__init__(failure.describe())
+        self.failure = failure
 
 
 def grid_configs(
@@ -67,19 +95,36 @@ class SweepRunner:
     """Runs experiments, memoizing results by config cache key.
 
     Counters: ``runs`` counts actual simulations; ``memory_hits`` /
-    ``disk_hits`` count lookups served by each cache layer;
-    ``sim_wall_time_s`` accumulates the wall time of the simulations
-    this runner executed (not of cache hits).
+    ``disk_hits`` / ``journal_hits`` count lookups served by each
+    layer; ``sim_wall_time_s`` accumulates the wall time of the
+    simulations this runner executed (not of cache hits).
+
+    Failed experiments land in :attr:`failures` keyed by cache key and
+    are *not* retried by later lookups in the same runner (the failure
+    was already retried to its budget inside the executor).
     """
 
     executor: Executor = field(default_factory=SerialExecutor)
     disk_cache: Optional[DiskCache] = None
+    journal: Optional[SweepJournal] = None
     cache: Dict[str, ExperimentResult] = field(default_factory=dict)
+    failures: Dict[str, FailedResult] = field(default_factory=dict)
     runs: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    journal_hits: int = 0
     traced_runs: int = 0
     sim_wall_time_s: float = 0.0
+
+    def attach_journal(self, journal: SweepJournal) -> None:
+        """Wire a journal in: replayed results seed the memory cache
+        (counted as ``journal_hits``); every subsequent outcome is
+        checkpointed as it lands."""
+        self.journal = journal
+        for key, result in journal.results.items():
+            if key not in self.cache:
+                self.cache[key] = result
+                self.journal_hits += 1
 
     @staticmethod
     def _traced(config: ExperimentConfig) -> bool:
@@ -97,11 +142,33 @@ class SweepRunner:
         return result.link_hours is not None or not config.collect_link_hours
 
     def _store(self, config: ExperimentConfig, result: ExperimentResult) -> None:
-        self.cache[config.cache_key()] = result
+        key = config.cache_key()
+        self.cache[key] = result
         if self.disk_cache is not None:
             self.disk_cache.put(config, result)
+        if self.journal is not None:
+            self.journal.record_done(key, result)
         self.runs += 1
         self.sim_wall_time_s += result.wall_time_s
+
+    def _record_failure(
+        self, config: ExperimentConfig, failure: FailedResult
+    ) -> None:
+        key = config.cache_key()
+        self.failures[key] = failure
+        if self.journal is not None:
+            self.journal.record_failed(key, failure)
+
+    def _outcome(
+        self, config: ExperimentConfig
+    ) -> ExperimentOutcome:
+        """Run one experiment through the executor, recording the outcome."""
+        outcome = self.executor.run(config)
+        if isinstance(outcome, FailedResult):
+            self._record_failure(config, outcome)
+        else:
+            self._store(config, outcome)
+        return outcome
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         """Run (or fetch) one experiment.
@@ -110,33 +177,55 @@ class SweepRunner:
         cache lookups -- the caller wants the trace file written, and
         only an actual simulation writes it -- but the result is still
         stored so subsequent untraced runs hit the cache.
+
+        Raises :class:`ExperimentFailedError` when the experiment fails
+        (after the executor's own retry budget); batch callers should
+        prefer :meth:`run_all`, which reports failures in-slot instead
+        of raising.
         """
         key = config.cache_key()
         if self._traced(config):
-            result = self.executor.run(config)
-            self._store(config, result)
+            outcome = self._outcome(config)
+            if isinstance(outcome, FailedResult):
+                raise ExperimentFailedError(outcome)
             self.traced_runs += 1
-            return result
+            return outcome
+        failure = self.failures.get(key)
+        if failure is not None:
+            # Already failed in this runner (budget exhausted): don't
+            # burn wall clock re-running a known-bad config.
+            raise ExperimentFailedError(failure)
         result = self.cache.get(key)
         if result is not None and self._satisfies(result, config):
             self.memory_hits += 1
+            if self.journal is not None:
+                self.journal.record_done(key, result)
             return result
         if self.disk_cache is not None:
             result = self.disk_cache.get(config)
             if result is not None and self._satisfies(result, config):
                 self.disk_hits += 1
                 self.cache[key] = result
+                if self.journal is not None:
+                    self.journal.record_done(key, result)
                 return result
-        result = self.executor.run(config)
-        self._store(config, result)
-        return result
+        outcome = self._outcome(config)
+        if isinstance(outcome, FailedResult):
+            raise ExperimentFailedError(outcome)
+        return outcome
 
-    def run_all(self, configs: Iterable[ExperimentConfig]) -> List[ExperimentResult]:
-        """Run every config; returns results in input order.
+    def run_all(
+        self, configs: Iterable[ExperimentConfig]
+    ) -> List[ExperimentOutcome]:
+        """Run every config; returns outcomes in input order.
 
         Cache misses are deduplicated by cache key and handed to the
         executor as one batch, so a :class:`ParallelExecutor` overlaps
-        them across worker processes.
+        them across worker processes.  A config whose simulation fails
+        yields its structured :class:`FailedResult` in-slot (never
+        raises, never aborts the rest of the batch); when a journal is
+        attached, every outcome is checkpointed the moment it resolves,
+        not at batch end.
         """
         configs = list(configs)
         pending: Dict[str, ExperimentConfig] = {}
@@ -147,6 +236,8 @@ class SweepRunner:
                 # alias an untraced request to one simulation here.
                 continue
             key = config.cache_key()
+            if key in self.failures:
+                continue
             cached = self.cache.get(key)
             if cached is not None and self._satisfies(cached, config):
                 continue
@@ -167,9 +258,32 @@ class SweepRunner:
                     continue
             missing.append(config)
         if missing:
-            for config, result in zip(missing, self.executor.run_many(missing)):
-                self._store(config, result)
-        return [self.run(c) for c in configs]
+            # Stream each outcome into the cache/journal as it lands
+            # (completion order), so killing the process mid-batch
+            # loses at most the in-flight experiments.
+            def _on_result(
+                index: int,
+                config: ExperimentConfig,
+                outcome: ExperimentOutcome,
+            ) -> None:
+                if isinstance(outcome, FailedResult):
+                    self._record_failure(config, outcome)
+                else:
+                    self._store(config, outcome)
+
+            self.executor.run_many(missing, on_result=_on_result)
+        out: List[ExperimentOutcome] = []
+        for config in configs:
+            if not self._traced(config):
+                failure = self.failures.get(config.cache_key())
+                if failure is not None:
+                    out.append(failure)
+                    continue
+            try:
+                out.append(self.run(config))
+            except ExperimentFailedError as exc:
+                out.append(exc.failure)
+        return out
 
     # ------------------------------------------------------------------
     # Paired comparisons

@@ -44,7 +44,7 @@ from repro.network.direction import LinkDir
 from repro.network.packets import Packet, PacketKind
 from repro.sim.engine import Simulator
 
-__all__ = ["LinkDir", "LinkController", "BUFFER_ENTRIES"]
+__all__ = ["LinkDir", "LinkController", "LinkFaultState", "BUFFER_ENTRIES"]
 
 #: Buffer entries per link controller (Section III-B).
 BUFFER_ENTRIES: int = 128
@@ -54,6 +54,99 @@ _HIST_EDGES: Tuple[float, ...] = tuple(sorted(ROO_THRESHOLDS_NS))
 
 #: Start a wakeup-arrival sample window every this many read arrivals.
 _SAMPLE_PERIOD: int = 32
+
+_M64 = (1 << 64) - 1
+
+
+def _unit_uniform(seed: int, n: int) -> float:
+    """Deterministic uniform in [0, 1) for draw ``n`` of stream ``seed``.
+
+    A splitmix64 finalizer over ``seed + n``: stateless, identical in
+    every process (unlike builtin ``hash``, which is randomized), and
+    independent of how many events other links drew.
+    """
+    x = (seed * 0x9E3779B97F4A7C15 + n * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    x ^= x >> 31
+    return (x >> 11) / float(1 << 53)
+
+
+class LinkFaultState:
+    """Fault windows and retry parameters for one link controller.
+
+    Built by :class:`repro.faults.FaultInjector` from a
+    :class:`~repro.faults.plan.FaultPlan`; ``LinkController.faults``
+    stays ``None`` on unfaulted links so the fault-free hot path costs
+    one attribute test, mirroring the tracing layer.
+
+    CRC error decisions are drawn per transmission attempt from a
+    stateless mix of ``seed`` and a per-link attempt counter --
+    deterministic for a given plan no matter which executor or process
+    runs the experiment, and guaranteed to terminate (each retry is a
+    fresh draw, so a sub-1.0 error rate cannot livelock a packet).
+    """
+
+    __slots__ = (
+        "seed",
+        "crc_windows",
+        "down_windows",
+        "degrade_windows",
+        "retry_ns",
+        "draws",
+        "crc_errors",
+        "down_blocks",
+        "degraded_tx",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        seed: int,
+        crc: Optional[List[Tuple[float, float, float]]] = None,
+        down: Optional[List[Tuple[float, float]]] = None,
+        degrade: Optional[List[Tuple[float, float, float]]] = None,
+        retry_ns: float = 48.0,
+    ) -> None:
+        self.seed = seed
+        #: ``(start, end, error_rate)`` CRC burst windows, sorted.
+        self.crc_windows = tuple(sorted(crc or ()))
+        #: ``(start, end)`` link-down windows, sorted.
+        self.down_windows = tuple(sorted(down or ()))
+        #: ``(start, end, flit_time_factor)`` degraded-lane windows.
+        self.degrade_windows = tuple(sorted(degrade or ()))
+        self.retry_ns = retry_ns
+        self.draws = 0
+        self.crc_errors = 0
+        self.down_blocks = 0
+        self.degraded_tx = 0
+        #: Optional tracer (``fault`` category), set by install_tracer.
+        self.trace: Optional[Any] = None
+
+    def crc_error(self, now: float) -> bool:
+        """Whether the transmission finishing at ``now`` failed CRC."""
+        for start, end, rate in self.crc_windows:
+            if start <= now < end:
+                self.draws += 1
+                if _unit_uniform(self.seed, self.draws) < rate:
+                    self.crc_errors += 1
+                    return True
+                return False
+        return False
+
+    def down_until(self, now: float) -> Optional[float]:
+        """End of the down window covering ``now``, or ``None``."""
+        for start, end in self.down_windows:
+            if start <= now < end:
+                return end
+        return None
+
+    def flit_scale(self, now: float) -> float:
+        """Flit-time multiplier at ``now`` (1.0 outside degrade windows)."""
+        for start, end, factor in self.degrade_windows:
+            if start <= now < end:
+                return factor
+        return 1.0
 
 
 class LinkController:
@@ -98,6 +191,11 @@ class LinkController:
         "flits_tx",
         "packets_tx",
         "wakeups",
+        # fault injection (None unless a FaultPlan targets this link)
+        "faults",
+        "retries",
+        "retry_flits",
+        "retry_time_ns",
         # epoch counters
         "ams",
         "violated",
@@ -199,6 +297,17 @@ class LinkController:
         self.flits_tx = 0
         self.packets_tx = 0
         self.wakeups = 0
+
+        #: Optional :class:`LinkFaultState`; installed by
+        #: :class:`repro.faults.FaultInjector` when a plan targets this
+        #: link.  ``None`` keeps the fault-free path branch-predictable.
+        self.faults: Optional[LinkFaultState] = None
+        #: CRC retransmissions performed (HMC-style link retry).
+        self.retries = 0
+        #: Flits of failed transmissions that had to be re-sent.
+        self.retry_flits = 0
+        #: Wire time spent on retry turnaround + retransmissions (ns).
+        self.retry_time_ns = 0.0
 
         self.ams = float("inf")
         self.violated = False
@@ -472,6 +581,22 @@ class LinkController:
         if now < self.wake_until:
             self.sim.schedule_at(self.wake_until, lambda: self.try_start(self.sim.now))
             return
+        faults = self.faults
+        if faults is not None:
+            # Transient link-down window: hold queued traffic (idle
+            # power, no reservations) and re-arm at the window's end.
+            resume = faults.down_until(now)
+            if resume is not None:
+                faults.down_blocks += 1
+                if faults.trace is not None:
+                    faults.trace.emit(
+                        now, "fault", "fault.down",
+                        link=self.name, until=resume,
+                    )
+                self.sim.schedule_at(
+                    resume, lambda: self.try_start(self.sim.now)
+                )
+                return
         next_ctrl = self.next_ctrl
         nxt = next_ctrl(head_q[0]) if next_ctrl is not None else None
         if nxt is not None:
@@ -490,6 +615,12 @@ class LinkController:
             w = self.width_idx
             flit_time = self._flit_times[w]
             serdes = self._serdes_times[w]
+        if faults is not None:
+            scale = faults.flit_scale(now)
+            if scale != 1.0:
+                # Degraded lanes: every flit serializes slower.
+                flit_time *= scale
+                faults.degraded_tx += 1
         # Inlined sim.schedule_at (one event per transmitted packet):
         # tx_done >= now by construction, so the past/NaN guard in
         # schedule_at can never fire here.
@@ -507,6 +638,27 @@ class LinkController:
     def _finish_tx(self, pkt: Packet, serdes: float) -> None:
         now = self.sim.now
         self.accrue(now)
+        faults = self.faults
+        if faults is not None and faults.crc_error(now):
+            # HMC-style link retry: the receiver's CRC check failed, so
+            # the packet is replayed from the transmitter's retry
+            # buffer after a fixed turnaround (detection + retry
+            # request + pointer rollback).  The link stays
+            # ``transmitting`` through the whole recovery -- blocking
+            # the queue and charging the turnaround as *active* I/O --
+            # which is exactly the retry energy/latency cost the power
+            # breakdown must show.
+            self.retries += 1
+            self.retry_flits += pkt.flits
+            if faults.trace is not None:
+                faults.trace.emit(
+                    now, "fault", "link.retry",
+                    link=self.name, flits=pkt.flits, retries=self.retries,
+                )
+            self.sim.schedule_at(
+                now + faults.retry_ns, lambda: self._retransmit(pkt)
+            )
+            return
         self.transmitting = False
         flits = pkt.flits
         self.flits_tx += flits
@@ -534,6 +686,37 @@ class LinkController:
             for ctrl in waiters:
                 ctrl.try_start(now)
         self.try_start(now)
+
+    def _retransmit(self, pkt: Packet) -> None:
+        """Replay ``pkt`` from the retry buffer after a CRC error.
+
+        Timing parameters are re-read at retransmission time so a width
+        transition or degrade window that began mid-recovery applies to
+        the replay.  Down windows do not gate replays: the packet is
+        already on the wire from the flow-control point of view.
+        """
+        now = self.sim.now
+        if now < self._trans_until:
+            flit_time, serdes, _power = self._effective_width(now)
+        else:
+            w = self.width_idx
+            flit_time = self._flit_times[w]
+            serdes = self._serdes_times[w]
+        faults = self.faults
+        if faults is not None:
+            scale = faults.flit_scale(now)
+            if scale != 1.0:
+                flit_time *= scale
+                faults.degraded_tx += 1
+            tx = pkt.flits * flit_time
+            self.retry_time_ns += faults.retry_ns + tx
+        else:  # pragma: no cover - replays only exist with faults set
+            tx = pkt.flits * flit_time
+        sim = self.sim
+        heappush(
+            sim._queue, (now + tx, sim._seq, lambda: self._finish_tx(pkt, serdes))
+        )
+        sim._seq += 1
 
     def release_reservation(self) -> None:
         """Downstream handed the packet onward; free the reserved slot."""

@@ -73,6 +73,10 @@ class MemoryNetwork:
         #: installed by :func:`repro.obs.install_tracer` when the
         #: ``dram`` category is enabled.
         self.trace: Optional[Any] = None
+        #: Optional :class:`repro.faults.VaultFaultTable`; installed by
+        #: :class:`repro.faults.FaultInjector` when a plan schedules
+        #: vault stalls.  ``None`` keeps the fault-free path to one test.
+        self.vault_faults: Optional[Any] = None
 
         self.completed_reads = 0
         self.completed_writes = 0
@@ -274,6 +278,16 @@ class MemoryNetwork:
                 self._wake_response_path(i, now)
         module.ledger.dram_dyn_j += module.e_access_j
         access = module.vaults.access(now, pkt.address, is_read)
+        data_ready = access.data_ready
+        done = access.done
+        vault_faults = self.vault_faults
+        if vault_faults is not None:
+            # Vault-stall fault window: the access itself proceeds, but
+            # its completion (and therefore the response) is delayed.
+            stall = vault_faults.stall_ns(i, now)
+            if stall > 0.0:
+                data_ready += stall
+                done += stall
         if self.trace is not None:
             vault, bank = module.vaults.map_address(pkt.address)
             self.trace.emit(
@@ -303,13 +317,13 @@ class MemoryNetwork:
             heappush(
                 sim._queue,
                 (
-                    access.data_ready,
+                    data_ready,
                     sim._seq,
                     lambda: module.resp_out.enqueue(resp, sim.now),
                 ),
             )
         else:
-            heappush(sim._queue, (access.done, sim._seq, self._count_write_done))
+            heappush(sim._queue, (done, sim._seq, self._count_write_done))
         sim._seq += 1
 
     def _count_write_done(self) -> None:

@@ -17,6 +17,8 @@ epoch     ``epoch.boundary`` ``ams.module`` ``ams.link``      yes
           ``isp.leftover`` ``isp.grant``
 dram      ``dram.access``                                     no
 engine    ``engine.dispatch``                                 no
+fault     ``fault.plan`` ``link.retry`` ``fault.down``        no
+          ``fault.vault_stall``
 ========  ==================================================  =========
 
 ``docs/observability.md`` documents every event field-by-field.
@@ -42,7 +44,7 @@ __all__ = [
 ]
 
 #: Every known trace category, in documentation order.
-ALL_CATEGORIES = ("meta", "link", "epoch", "dram", "engine")
+ALL_CATEGORIES = ("meta", "link", "epoch", "dram", "engine", "fault")
 
 #: Categories enabled when none are given: the power-state and budget
 #: events the paper's figures hinge on, without the per-event /
@@ -141,5 +143,13 @@ def install_tracer(
         if tracer.wants("link"):
             for link in network.all_links():
                 link.trace = tracer
+        if tracer.wants("fault"):
+            # Fault hooks live on the injected fault-state objects, not
+            # the links themselves, so unfaulted links stay untouched.
+            for link in network.all_links():
+                if link.faults is not None:
+                    link.faults.trace = tracer
+            if getattr(network, "vault_faults", None) is not None:
+                network.vault_faults.trace = tracer
     if policy is not None and tracer.wants("epoch"):
         policy.trace = tracer

@@ -160,6 +160,78 @@ def _enq(link, pkt, sim) -> Callable[[], None]:
     return lambda: link.enqueue(pkt, sim.now)
 
 
+@register(
+    "faulted_link_retry",
+    "LinkController transmit path under CRC retries and fault windows",
+)
+def _faulted_link_retry(quick: bool) -> Callable[[], Tuple[int, str]]:
+    packets = 3_000 if quick else 15_000
+
+    def work() -> Tuple[int, str]:
+        from repro.core.mechanisms import make_mechanism
+        from repro.network.direction import LinkDir
+        from repro.network.links import LinkController, LinkFaultState
+        from repro.network.packets import Packet, PacketKind
+        from repro.power.accounting import EnergyLedger
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        link = LinkController(
+            sim,
+            name="bench",
+            direction=LinkDir.REQUEST,
+            src=-1,
+            dst=0,
+            mech=make_mechanism("VWL+ROO"),
+            endpoint_w=1.6,
+            ledger_src=EnergyLedger(),
+            ledger_dst=EnergyLedger(),
+        )
+        # Same arrival pattern as link_state_machine, but the link runs
+        # through rolling CRC-error windows (plus one down and one
+        # degraded window), exercising the retry/retransmission path.
+        link.faults = LinkFaultState(
+            seed=77,
+            crc=[(float(s), float(s) + 60_000.0, 0.2)
+                 for s in range(0, 1_000_000, 100_000)],
+            down=[(40_000.0, 44_000.0)],
+            degrade=[(200_000.0, 260_000.0, 2.0)],
+            retry_ns=48.0,
+        )
+        link.start(0.0)
+
+        rng = _lcg(42)
+        t = 5.0
+        kinds = (PacketKind.READ_REQ, PacketKind.WRITE_REQ)
+        for i in range(packets):
+            r = next(rng)
+            burst = 1 + (r & 3)
+            for b in range(burst):
+                pkt = Packet(
+                    kind=kinds[(r >> (2 + b)) & 1],
+                    address=(r >> 7) % (1 << 30),
+                    dest=0,
+                )
+                sim.schedule_at(t + 0.01 * b, _enq(link, pkt, sim))
+            t += 2500.0 if i % 16 == 15 else 20.0 + (r >> 33) % 180
+        sim.run()
+        link.accrue(sim.now)
+        return sim.events_processed, fingerprint(
+            link.flits_tx,
+            link.packets_tx,
+            link.retries,
+            link.retry_flits,
+            link.retry_time_ns,
+            link.faults.draws,
+            link.faults.crc_errors,
+            link.faults.down_blocks,
+            link.faults.degraded_tx,
+            link.ledger_src.active_io_j,
+        )
+
+    return work
+
+
 # ----------------------------------------------------------------------
 # network/router -- multi-hop packet forwarding
 # ----------------------------------------------------------------------

@@ -26,6 +26,7 @@ class TestDeliverables:
         for name in (
             "architecture.md", "algorithms.md", "reproducing.md",
             "api.md", "workloads.md", "observability.md", "figures.md",
+            "resilience.md",
         ):
             assert (REPO / "docs" / name).is_file(), name
 

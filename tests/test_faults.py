@@ -1,0 +1,348 @@
+"""Fault-injection subsystem: spec parsing, plans, the link-retry model,
+and end-to-end determinism guarantees.
+
+The two load-bearing invariants:
+
+* **Zero-overhead / bit-identity when disabled** -- an empty or no-op
+  ``fault_spec`` reproduces the golden results bit-for-bit (the fault
+  hooks are ``None`` on the hot path).
+* **Conservation under faults** -- every injected packet is eventually
+  delivered exactly once; CRC retries add retransmitted flits and
+  latency, never lose or duplicate packets.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mechanisms import make_mechanism
+from repro.faults import (
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+    build_plan,
+    parse_fault_spec,
+)
+from repro.harness.executor import ParallelExecutor, SerialExecutor
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.io import result_to_cache_dict
+from repro.network.links import LinkController, LinkDir, LinkFaultState
+from repro.power.accounting import EnergyLedger
+from repro.sim import Simulator
+
+FAST = dict(
+    workload="sp.D", topology="daisychain", mechanism="VWL+ROO",
+    policy="aware", window_ns=40_000.0,
+)
+
+FAULT_COUNTERS = (
+    "link_retries", "retry_flits", "retry_time_ns", "vault_stalls",
+    "fault_events",
+)
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+class TestParseFaultSpec:
+    def test_empty_spec_is_noop(self):
+        spec = parse_fault_spec("")
+        assert spec.is_noop
+        assert not spec.wants_link_faults
+
+    def test_full_spec_round_trip(self):
+        spec = parse_fault_spec(
+            "seed=7,crc=0.25,crc_bursts=3,burst_ns=8000,down=2,down_ns=3000,"
+            "degrade=1,degrade_factor=4,stall=5,stall_ns=250,retry_ns=32"
+        )
+        assert spec.seed == 7
+        assert spec.crc == 0.25
+        assert spec.crc_bursts == 3
+        assert spec.down == 2
+        assert spec.degrade_factor == 4.0
+        assert spec.stall == 5
+        assert spec.retry_ns == 32.0
+        assert spec.wants_link_faults
+        assert not spec.is_noop
+
+    def test_semicolon_separator_and_whitespace(self):
+        spec = parse_fault_spec(" seed=3 ; crc=0.5 ; crc_bursts=1 ")
+        assert spec.seed == 3 and spec.crc_bursts == 1
+
+    def test_seed_only_spec_is_noop(self):
+        assert parse_fault_spec("seed=42").is_noop
+
+    @pytest.mark.parametrize("bad", [
+        "bogus=1",              # unknown key
+        "crc=1.5",              # rate out of [0, 1]
+        "crc=-0.1",
+        "crc_bursts=-1",        # negative count
+        "degrade_factor=0.5",   # < 1 would *speed up* the link
+        "burst_ns=-5",          # negative duration
+        "seed=abc",             # not an int
+        "crc",                  # missing '='
+    ])
+    def test_invalid_specs_raise(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+    def test_config_validates_fault_spec_eagerly(self):
+        with pytest.raises(FaultSpecError):
+            ExperimentConfig(workload="sp.D", fault_spec="crc=2.0")
+
+    def test_fault_spec_changes_cache_key(self):
+        plain = ExperimentConfig(workload="sp.D")
+        faulted = plain.replace(fault_spec="seed=3,crc=0.1,crc_bursts=1")
+        assert plain.cache_key() != faulted.cache_key()
+
+
+# ----------------------------------------------------------------------
+# Plan construction
+# ----------------------------------------------------------------------
+class TestBuildPlan:
+    LINKS = ["req:h0->h1", "resp:h1->h0", "req:h1->h2"]
+
+    def _spec(self, **kw):
+        return FaultSpec(**{**dict(seed=11, crc=0.2, crc_bursts=4, down=2,
+                                   degrade=2, stall=3), **kw})
+
+    def test_deterministic_for_seed(self):
+        a = build_plan(self._spec(), self.LINKS, 4, 100_000.0)
+        b = build_plan(self._spec(), self.LINKS, 4, 100_000.0)
+        assert a.events == b.events
+
+    def test_different_seed_different_plan(self):
+        a = build_plan(self._spec(), self.LINKS, 4, 100_000.0)
+        b = build_plan(self._spec(seed=12), self.LINKS, 4, 100_000.0)
+        assert a.events != b.events
+
+    def test_event_counts_and_targets(self):
+        plan = build_plan(self._spec(), self.LINKS, 4, 100_000.0)
+        kinds = {}
+        for ev in plan.events:
+            kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+            assert 0.0 <= ev.start_ns <= ev.end_ns <= 100_000.0
+            if ev.kind == "vault_stall":
+                assert 0 <= int(ev.target) < 4
+            else:
+                assert ev.target in self.LINKS
+        assert kinds == {"crc": 4, "down": 2,
+                         "degrade": 2, "vault_stall": 3}
+
+    def test_noop_spec_builds_empty_plan(self):
+        plan = build_plan(FaultSpec(seed=5), self.LINKS, 4, 100_000.0)
+        assert plan.events == ()
+
+
+# ----------------------------------------------------------------------
+# Link retry model (unit level)
+# ----------------------------------------------------------------------
+ENDPOINT_W = 0.58625
+
+
+def make_link(faults=None):
+    sim = Simulator()
+    delivered = []
+    link = LinkController(
+        sim, name="test", direction=LinkDir.REQUEST, src=-1, dst=0,
+        mech=make_mechanism("FP"), endpoint_w=ENDPOINT_W,
+        ledger_src=EnergyLedger(), ledger_dst=EnergyLedger(),
+    )
+    link.faults = faults
+    link.deliver = lambda pkt, now: delivered.append((pkt, now))
+    link.start(0.0)
+    return sim, link, delivered
+
+
+def read_req(addr=0):
+    from repro.network.packets import Packet, PacketKind
+
+    return Packet(kind=PacketKind.READ_REQ, address=addr, dest=0)
+
+
+class TestLinkRetryModel:
+    def test_certain_crc_error_retries_then_delivers(self):
+        faults = LinkFaultState(
+            seed=1, crc=[(0.0, 10.0, 1.0)], retry_ns=48.0
+        )
+        sim, link, delivered = make_link(faults)
+        sim.schedule(0.0, lambda: link.enqueue(read_req(), sim.now))
+        sim.run()
+        # First attempt lands inside the always-error window and is
+        # retried; the retransmission finishes past the window edge.
+        assert len(delivered) == 1
+        assert link.retries >= 1
+        assert delivered[0][1] > 10.0
+
+    def test_down_window_defers_transmission(self):
+        faults = LinkFaultState(seed=1, down=[(5.0, 50.0)])
+        sim, link, delivered = make_link(faults)
+        sim.schedule(10.0, lambda: link.enqueue(read_req(), sim.now))
+        sim.run()
+        assert len(delivered) == 1
+        assert delivered[0][1] == pytest.approx(50.0 + 0.64 + 3.2)
+        assert faults.down_blocks >= 1
+
+    def test_degraded_window_scales_serialization(self):
+        faults = LinkFaultState(seed=1, degrade=[(0.0, 100.0, 2.0)])
+        sim, link, delivered = make_link(faults)
+        sim.schedule(0.0, lambda: link.enqueue(read_req(), sim.now))
+        sim.run()
+        # 1 flit * 0.64 ns doubled + 3.2 ns SERDES (unscaled).
+        assert delivered[0][1] == pytest.approx(2 * 0.64 + 3.2)
+        assert faults.degraded_tx == 1
+
+    def test_no_faults_object_means_clean_timing(self):
+        sim, link, delivered = make_link(None)
+        sim.schedule(0.0, lambda: link.enqueue(read_req(), sim.now))
+        sim.run()
+        assert delivered[0][1] == pytest.approx(0.64 + 3.2)
+        assert link.retries == 0 and link.retry_flits == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        rate=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_retry_accounting_conserves_packets(self, n, rate, seed):
+        """Every injected packet is delivered exactly once, and flits on
+        the wire decompose exactly into delivered + retransmitted."""
+        faults = LinkFaultState(
+            seed=seed, crc=[(0.0, 1e9, rate)], retry_ns=48.0
+        )
+        sim, link, delivered = make_link(faults)
+        for i in range(n):
+            sim.schedule(i * 7.0, lambda: link.enqueue(read_req(), sim.now))
+        sim.run()
+        assert len(delivered) == n
+        assert link.packets_tx == n
+        assert link.flits_tx == n  # read requests are single-flit
+        assert link.retries == faults.crc_errors
+        assert link.retry_flits == link.retries  # 1 flit per retried pkt
+        assert link.retry_time_ns >= link.retries * faults.retry_ns
+
+    def test_crc_draws_deterministic_across_instances(self):
+        def run_once():
+            faults = LinkFaultState(seed=99, crc=[(0.0, 1e9, 0.5)])
+            sim, link, delivered = make_link(faults)
+            for i in range(20):
+                sim.schedule(i * 9.0, lambda: link.enqueue(read_req(), sim.now))
+            sim.run()
+            return (link.retries, faults.draws, [t for _, t in delivered])
+
+        assert run_once() == run_once()
+
+
+# ----------------------------------------------------------------------
+# End-to-end: experiment pipeline
+# ----------------------------------------------------------------------
+def _payload(config):
+    payload = result_to_cache_dict(run_experiment(config))
+    payload.pop("wall_time_s", None)
+    return payload
+
+
+class TestExperimentFaults:
+    FAULTED = "seed=7,crc=0.3,crc_bursts=4,burst_ns=8000,down=1,stall=3,stall_ns=400"
+
+    def test_noop_spec_bit_identical_to_clean(self):
+        clean = _payload(ExperimentConfig(**FAST))
+        noop = _payload(ExperimentConfig(**FAST, fault_spec="seed=99"))
+        assert noop["config"].pop("fault_spec") == "seed=99"
+        clean["config"].pop("fault_spec")
+        assert noop == clean
+
+    def test_disabled_faults_reproduce_golden(self):
+        import os
+
+        golden_path = os.path.join(
+            os.path.dirname(__file__), "golden", "experiment_results.json"
+        )
+        entry = json.load(open(golden_path))[0]
+        config = ExperimentConfig(**entry["config"])
+        noop = _payload(config.replace(fault_spec="seed=31337"))
+        expected = dict(entry)
+        expected.pop("wall_time_s", None)
+        noop["config"].pop("fault_spec")
+        expected["config"].pop("fault_spec")
+        assert noop == expected
+        for counter in FAULT_COUNTERS:
+            assert not noop[counter]
+
+    def test_faulted_run_is_deterministic(self):
+        config = ExperimentConfig(**FAST, fault_spec=self.FAULTED)
+        assert _payload(config) == _payload(config)
+
+    def test_faults_cost_power_and_latency(self):
+        clean = run_experiment(ExperimentConfig(**FAST))
+        faulted = run_experiment(
+            ExperimentConfig(**FAST, fault_spec=self.FAULTED)
+        )
+        assert faulted.link_retries > 0
+        assert faulted.retry_flits >= faulted.link_retries
+        assert faulted.vault_stalls > 0
+        assert faulted.fault_events > 0
+        # Retries keep lanes transmitting longer: active I/O energy up.
+        assert (faulted.breakdown.watts["active_io"]
+                > clean.breakdown.watts["active_io"])
+        assert faulted.avg_read_latency_ns > clean.avg_read_latency_ns
+
+    def test_serial_and_parallel_faulted_runs_identical(self):
+        configs = [
+            ExperimentConfig(**FAST, fault_spec=self.FAULTED, seed=s)
+            for s in (1, 2)
+        ]
+        serial = SerialExecutor().run_many(configs)
+        parallel = ParallelExecutor(jobs=2).run_many(configs)
+
+        def norm(r):
+            d = result_to_cache_dict(r)
+            d.pop("wall_time_s")
+            return d
+
+        assert [norm(r) for r in serial] == [norm(r) for r in parallel]
+
+    def test_fault_trace_events(self, tmp_path):
+        trace = tmp_path / "faults.jsonl"
+        config = ExperimentConfig(
+            **FAST, fault_spec=self.FAULTED,
+            trace_path=str(trace), trace_categories="all",
+        )
+        run_experiment(config)
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        kinds = {e["ev"] for e in events if e["cat"] == "fault"}
+        assert "fault.plan" in kinds
+        assert "link.retry" in kinds
+        assert "fault.vault_stall" in kinds
+
+    def test_vault_stalls_raise_latency(self):
+        clean = run_experiment(ExperimentConfig(**FAST))
+        stalled = run_experiment(ExperimentConfig(
+            **FAST, fault_spec="seed=5,stall=6,stall_ns=500,stall_win_ns=6000"
+        ))
+        assert stalled.vault_stalls > 0
+        assert stalled.link_retries == 0
+        assert stalled.avg_read_latency_ns > clean.avg_read_latency_ns
+
+    def test_injector_targets_only_planned_links(self):
+        from repro.core.mechanisms import make_mechanism as _mm
+        from repro.network.network import MemoryNetwork
+        from repro.network.topology import build_topology
+        from repro.workloads import contiguous_mapping, get_profile
+
+        profile = get_profile("sp.D")
+        mapping = contiguous_mapping(profile.footprint_gb, "small")
+        sim = Simulator()
+        topology = build_topology("daisychain", mapping.num_modules)
+        network = MemoryNetwork(sim, topology, _mm("FP"), mapping)
+        names = [link.name for link in network.all_links()]
+        spec = parse_fault_spec("seed=3,crc=0.5,crc_bursts=1")
+        plan = build_plan(spec, names, topology.num_modules, 100_000.0)
+        FaultInjector(plan).install(network)
+        faulted = [lk for lk in network.all_links() if lk.faults is not None]
+        targets = {ev.target for ev in plan.events}
+        assert {lk.name for lk in faulted} == targets
+        assert network.vault_faults is None
