@@ -5,6 +5,10 @@
 
 PYTHON ?= python
 LINT_PATHS = src/repro/sim src/repro/network src/repro/perf
+# Typed surface is wider than the ruff-formatted one: core (policies,
+# mechanisms, overrides) and harness (builder, experiment, caches) are
+# mypy-checked too.
+MYPY_PATHS = src/repro/sim src/repro/network src/repro/core src/repro/harness src/repro/perf
 
 .PHONY: test lint bench bench-quick bench-gate baseline
 
@@ -14,7 +18,7 @@ test:
 lint:
 	ruff check $(LINT_PATHS)
 	ruff format --check $(LINT_PATHS)
-	mypy $(LINT_PATHS)
+	mypy $(MYPY_PATHS)
 
 bench:
 	$(PYTHON) -m repro.cli bench

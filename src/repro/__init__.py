@@ -39,6 +39,7 @@ from repro.harness import (
     ExperimentConfig,
     ExperimentResult,
     RunSettings,
+    SimulationBuilder,
     SweepRunner,
     run_experiment,
 )
@@ -50,6 +51,7 @@ from repro.network import (
     build_topology,
 )
 from repro.power import DEFAULT_POWER_MODEL, HmcPowerModel, PowerBreakdown
+from repro.registry import Registry
 from repro.sim import Simulator
 from repro.workloads import WORKLOAD_NAMES, ClosedLoopWorkload, get_profile
 
@@ -81,4 +83,6 @@ __all__ = [
     "run_experiment",
     "RunSettings",
     "SweepRunner",
+    "SimulationBuilder",
+    "Registry",
 ]

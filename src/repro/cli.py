@@ -10,7 +10,9 @@ Subcommands::
     repro-mnet bench --out BENCH.json    # performance microbenchmarks
 
 The ``figure`` subcommand accepts: fig4, fig5, fig6, fig8, fig9, fig11,
-fig12, fig13, fig15, fig16, fig17, fig18, sec7.
+fig12, fig13, fig15, fig16, fig17, fig18, sec7, and hetero-depth (a
+beyond-the-paper comparison of depth-staged mechanism mixes built with
+``--mech-overrides`` specs).
 
 Simulating subcommands (``run``, ``figure``, ``sweep-alpha``, ``batch``)
 share the execution flags: ``--jobs N`` fans cache misses out over a
@@ -30,7 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.mechanisms import MECHANISM_NAMES
+from repro.core.mechanisms import MECHANISMS, MECHANISM_NAMES
 from repro.harness.diskcache import DiskCache
 from repro.harness.executor import FailedResult, make_executor
 from repro.harness.experiment import ExperimentConfig, POLICY_NAMES
@@ -41,6 +43,7 @@ from repro.harness.sweep import ExperimentFailedError, SweepRunner
 from repro.obs import ALL_CATEGORIES, TRACE_FORMATS
 from repro.network.topology import TOPOLOGY_BUILDERS, TOPOLOGY_NAMES
 from repro.workloads import WORKLOAD_NAMES, get_profile
+from repro.workloads.mapping import MAPPINGS, MAPPING_NAMES
 
 __all__ = ["main"]
 
@@ -87,6 +90,20 @@ def _print_run_stats(runner: SweepRunner) -> None:
     )
 
 
+def _with_aliases(registry) -> str:
+    """Registry names plus ``name (alias: ...)`` annotations."""
+    by_canonical: dict = {}
+    for alias, canonical in registry.aliases().items():
+        by_canonical.setdefault(canonical, []).append(alias)
+    parts = []
+    for name in registry.names():
+        aliases = sorted(by_canonical.get(name, ()))
+        parts.append(
+            f"{name} (alias: {', '.join(aliases)})" if aliases else name
+        )
+    return ", ".join(parts)
+
+
 def _cmd_list(_args) -> int:
     rows = [
         [name, f"{get_profile(name).footprint_gb:g} GB",
@@ -100,8 +117,9 @@ def _cmd_list(_args) -> int:
     print()
     print("Topologies :", ", ".join(sorted(TOPOLOGY_BUILDERS)),
           f"(paper evaluates: {', '.join(TOPOLOGY_NAMES)})")
-    print("Mechanisms :", ", ".join(MECHANISM_NAMES))
+    print("Mechanisms :", _with_aliases(MECHANISMS))
     print("Policies   :", ", ".join(POLICY_NAMES))
+    print("Mappings   :", _with_aliases(MAPPINGS))
     return 0
 
 
@@ -118,6 +136,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         wake_ns=args.wake_ns,
         mapping=args.mapping,
+        mechanism_overrides=args.mech_overrides,
         fault_spec=args.faults,
         trace_path=args.trace,
         trace_format=args.trace_format,
@@ -156,8 +175,11 @@ def _cmd_run(args) -> int:
             ["retry time", f"{result.retry_time_ns:.0f} ns"],
             ["vault stalls", result.vault_stalls],
         ]
+    mech_label = config.mechanism
+    if config.mechanism_overrides:
+        mech_label += f" [{config.mechanism_overrides}]"
     title = (f"{config.workload} on {config.scale} {config.topology}, "
-             f"{config.mechanism}/{config.policy}")
+             f"{mech_label}/{config.policy}")
     print(format_table(["metric", "value"], rows, title=title))
 
     if args.baseline and config.policy != "none":
@@ -189,6 +211,7 @@ _FIGURES = {
     "fig17": lambda r, s: _rows(F.fig17_aware_performance(r, s)),
     "fig18": lambda r, s: _rows(F.fig18_dvfs_sensitivity(r, s)),
     "sec7": lambda r, s: _rows(sorted(F.sec7_static_comparison(r, s).items())),
+    "hetero-depth": lambda r, s: _rows(F.hetero_depth(r, s)),
 }
 
 
@@ -283,7 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--wake-ns", type=float, default=14.0)
     run_p.add_argument("--mapping", default="contiguous",
-                       choices=["contiguous", "interleaved"])
+                       choices=list(MAPPING_NAMES))
+    run_p.add_argument(
+        "--mech-overrides", default="", metavar="SPEC",
+        help="per-link mechanism overrides, e.g. "
+             "'depth>=3:ROO+VWL,link:m2-up:FP' (later clauses win; "
+             "see docs/reproducing.md for the grammar)")
     run_p.add_argument("--baseline", action="store_true",
                        help="also run the full-power baseline and compare")
     run_p.add_argument(
@@ -320,6 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(TOPOLOGY_BUILDERS))
     sweep_p.add_argument("--scale", default="big", choices=["small", "big"])
     sweep_p.add_argument("--mechanism", default="VWL", choices=MECHANISM_NAMES)
+    sweep_p.add_argument(
+        "--mech-overrides", default="", metavar="SPEC",
+        help="per-link mechanism overrides applied to every point of "
+             "the sweep (same grammar as 'run --mech-overrides')")
     sweep_p.add_argument("--policy", default="aware",
                          choices=["unaware", "aware"])
     sweep_p.add_argument("--alphas", type=float, nargs="+",
@@ -388,6 +420,7 @@ def _cmd_sweep_alpha(args) -> int:
         topology=args.topology,
         scale=args.scale,
         mechanism=args.mechanism,
+        mechanism_overrides=args.mech_overrides,
         policy=args.policy,
         window_ns=args.window_us * 1000.0,
         epoch_ns=args.epoch_us * 1000.0,
@@ -432,25 +465,22 @@ def _close_journal(runner: SweepRunner) -> None:
 def _cmd_trace(args) -> int:
     if args.kind == "events":
         return _cmd_trace_events(args)
-    from repro.core.mechanisms import make_mechanism
-    from repro.network.network import MemoryNetwork
-    from repro.network.topology import build_topology
-    from repro.sim.engine import Simulator
-    from repro.workloads import ClosedLoopWorkload, contiguous_mapping
+    from repro.harness.builder import SimulationBuilder
     from repro.workloads.traces import TraceRecorder, save_trace
 
-    profile = get_profile(args.workload)
-    mapping = contiguous_mapping(profile.footprint_gb, args.scale)
-    sim = Simulator()
-    topology = build_topology(args.topology, mapping.num_modules)
-    network = MemoryNetwork(sim, topology, make_mechanism("FP"), mapping)
-    recorder = TraceRecorder(network)
-    workload = ClosedLoopWorkload(
-        network, profile, stop_ns=args.window_us * 1000.0, seed=args.seed
+    config = ExperimentConfig(
+        workload=args.workload,
+        topology=args.topology,
+        scale=args.scale,
+        mechanism="FP",
+        policy="none",
+        window_ns=args.window_us * 1000.0,
+        seed=args.seed,
     )
-    network.start()
-    workload.start()
-    sim.run(until=args.window_us * 1000.0)
+    simulation = SimulationBuilder(config).without_observability().build()
+    network = simulation.network
+    recorder = TraceRecorder(network)
+    simulation.run()
     count = save_trace(args.path, recorder.records)
     print(f"Wrote {count} accesses ({network.injected_reads} reads, "
           f"{network.injected_writes} writes) to {args.path}")

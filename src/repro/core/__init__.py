@@ -19,6 +19,14 @@ from repro.core.mechanisms import (
     WidthMode,
     make_mechanism,
 )
+from repro.core.overrides import (
+    LinkMechanism,
+    OverrideClause,
+    OverrideError,
+    canonical_override_spec,
+    parse_mechanism_overrides,
+    resolve_link_mechanisms,
+)
 from repro.core.policy import EPOCH_NS, ManagementPolicy
 from repro.core.static_baseline import StaticBaselinePolicy, static_width_fractions
 from repro.core.unaware import NetworkUnawarePolicy
@@ -33,6 +41,12 @@ __all__ = [
     "DVFS_MODES",
     "ROO_THRESHOLDS_NS",
     "FULL_LANES",
+    "OverrideError",
+    "OverrideClause",
+    "LinkMechanism",
+    "parse_mechanism_overrides",
+    "canonical_override_spec",
+    "resolve_link_mechanisms",
     "SlowdownAccount",
     "module_fel_ael",
     "ManagementPolicy",

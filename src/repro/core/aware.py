@@ -100,11 +100,14 @@ class NetworkAwarePolicy(ManagementPolicy):
         self._grant_pool = 0.0
         self._grant_unit = 0.0
         self.grants_issued = 0
-        mech = network.mechanism
-        self._roo_only = mech.has_roo and not mech.has_width_scaling
-        self._combo = mech.has_roo and mech.has_width_scaling
-        self._lowest_roo = (
-            len(mech.roo_thresholds) - 1 if mech.has_roo else None
+        # Aggregate over the (possibly heterogeneous) link set: with
+        # per-link mechanism overrides the pool split keys off what any
+        # link can do, not the network-wide default.
+        self._roo_only = (
+            network.has_roo_links and not network.has_width_scaling_links
+        )
+        self._combo = (
+            network.has_roo_links and network.has_width_scaling_links
         )
         # Per-epoch candidate caches: link -> ordered candidate list and
         # state -> flo lookup.
@@ -224,7 +227,16 @@ class NetworkAwarePolicy(ManagementPolicy):
             }
             link.ams = 0.0
             link.isp_sel = cands[0][0]
-            if is_resp and self._roo_only and hiding:
+            if (
+                is_resp
+                and hiding
+                and link.mech.has_roo
+                and not link.mech.has_width_scaling
+            ):
+                # Wakeup hiding absorbs this link's only overhead source,
+                # so it is not a slowdown-receiving candidate.  Checked
+                # per link: under overrides a ROO-only response link is
+                # excluded even when other links run width-scaling mechs.
                 link.isp_src = False
             else:
                 link.isp_src = len(cands) > 1

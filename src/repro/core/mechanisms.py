@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.registry import Registry
+
 __all__ = [
     "FULL_LANES",
     "FLIT_TIME_FULL_NS",
@@ -37,6 +39,8 @@ __all__ = [
     "MechanismConfig",
     "LinkModeState",
     "make_mechanism",
+    "canonical_mechanism",
+    "MECHANISMS",
     "MECHANISM_NAMES",
 ]
 
@@ -155,51 +159,82 @@ class LinkModeState:
         return self.width_index == 0 and self.roo_index in (None, 0)
 
 
+#: Registry of mechanism factories (``(wake_ns) -> MechanismConfig``).
+#: Lookups are case-insensitive and ignore spaces; the reversed combo
+#: spellings (``ROO+VWL``, ``ROO+DVFS``) are registered as aliases so
+#: scenario-override specs may use either order.
+MECHANISMS: Registry = Registry(
+    "mechanism", canonicalize=lambda s: s.upper().replace(" ", "")
+)
+
+
+@MECHANISMS.register("FP")
+def _fp(wake_ns: float) -> MechanismConfig:
+    return MechanismConfig(name="FP", width_modes=FULL_ONLY_MODES)
+
+
+@MECHANISMS.register("VWL")
+def _vwl(wake_ns: float) -> MechanismConfig:
+    return MechanismConfig(
+        name="VWL", width_modes=VWL_MODES, width_transition_ns=1000.0
+    )
+
+
+@MECHANISMS.register("ROO")
+def _roo(wake_ns: float) -> MechanismConfig:
+    return MechanismConfig(
+        name="ROO",
+        width_modes=FULL_ONLY_MODES,
+        roo_thresholds=ROO_THRESHOLDS_NS,
+        wake_ns=wake_ns,
+    )
+
+
+@MECHANISMS.register("DVFS")
+def _dvfs(wake_ns: float) -> MechanismConfig:
+    return MechanismConfig(
+        name="DVFS", width_modes=DVFS_MODES, width_transition_ns=3000.0
+    )
+
+
+@MECHANISMS.register("VWL+ROO", aliases=("ROO+VWL",))
+def _vwl_roo(wake_ns: float) -> MechanismConfig:
+    return MechanismConfig(
+        name="VWL+ROO",
+        width_modes=VWL_MODES,
+        roo_thresholds=ROO_THRESHOLDS_NS,
+        wake_ns=wake_ns,
+        width_transition_ns=1000.0,
+    )
+
+
+@MECHANISMS.register("DVFS+ROO", aliases=("ROO+DVFS",))
+def _dvfs_roo(wake_ns: float) -> MechanismConfig:
+    return MechanismConfig(
+        name="DVFS+ROO",
+        width_modes=DVFS_MODES,
+        roo_thresholds=ROO_THRESHOLDS_NS,
+        wake_ns=wake_ns,
+        width_transition_ns=3000.0,
+    )
+
+
 def make_mechanism(name: str, wake_ns: float = 14.0) -> MechanismConfig:
     """Build the mechanism configuration for ``name``.
 
     Supported names: ``FP`` (full power, no control), ``VWL``, ``ROO``,
-    ``DVFS``, ``VWL+ROO``, ``DVFS+ROO``.  ``wake_ns`` applies to the ROO
-    component only (the paper studies 14 ns and 20 ns).
+    ``DVFS``, ``VWL+ROO``, ``DVFS+ROO`` (plus the reversed combo
+    aliases).  ``wake_ns`` applies to the ROO component only (the paper
+    studies 14 ns and 20 ns).
     """
-    key = name.upper().replace(" ", "")
-    if key == "FP":
-        return MechanismConfig(name="FP", width_modes=FULL_ONLY_MODES)
-    if key == "VWL":
-        return MechanismConfig(
-            name="VWL", width_modes=VWL_MODES, width_transition_ns=1000.0
-        )
-    if key == "DVFS":
-        return MechanismConfig(
-            name="DVFS", width_modes=DVFS_MODES, width_transition_ns=3000.0
-        )
-    if key == "ROO":
-        return MechanismConfig(
-            name="ROO",
-            width_modes=FULL_ONLY_MODES,
-            roo_thresholds=ROO_THRESHOLDS_NS,
-            wake_ns=wake_ns,
-        )
-    if key == "VWL+ROO":
-        return MechanismConfig(
-            name="VWL+ROO",
-            width_modes=VWL_MODES,
-            roo_thresholds=ROO_THRESHOLDS_NS,
-            wake_ns=wake_ns,
-            width_transition_ns=1000.0,
-        )
-    if key == "DVFS+ROO":
-        return MechanismConfig(
-            name="DVFS+ROO",
-            width_modes=DVFS_MODES,
-            roo_thresholds=ROO_THRESHOLDS_NS,
-            wake_ns=wake_ns,
-            width_transition_ns=3000.0,
-        )
-    raise ValueError(
-        f"unknown mechanism {name!r}; choose from {sorted(MECHANISM_NAMES)}"
-    )
+    return MECHANISMS.get(name)(wake_ns)
 
 
-#: All recognized mechanism names.
-MECHANISM_NAMES: Tuple[str, ...] = ("FP", "VWL", "ROO", "DVFS", "VWL+ROO", "DVFS+ROO")
+def canonical_mechanism(name: str) -> str:
+    """Resolve ``name`` (case-insensitive, aliases ok) to its canonical
+    spelling, raising ``ValueError`` for unknown names."""
+    return MECHANISMS.canonical(name)
+
+
+#: All recognized mechanism names (canonical spellings).
+MECHANISM_NAMES: Tuple[str, ...] = MECHANISMS.names()

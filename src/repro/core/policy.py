@@ -18,18 +18,72 @@ ISP).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.core.mechanisms import LinkModeState
+from repro.registry import Registry
 
 if TYPE_CHECKING:  # import-cycle-free type hints only
     from repro.network.links import LinkController
     from repro.network.network import MemoryNetwork
 
-__all__ = ["ManagementPolicy", "EPOCH_NS", "select_lowest_power_mode", "ordered_candidates"]
+__all__ = [
+    "ManagementPolicy",
+    "EPOCH_NS",
+    "select_lowest_power_mode",
+    "ordered_candidates",
+    "POLICIES",
+    "POLICY_NAMES",
+    "make_policy",
+]
 
 #: Epoch length (Section V, after Ahn et al. DAC'14).
 EPOCH_NS: float = 100_000.0
+
+#: Registry of management-policy factories.  Each factory is called as
+#: ``factory(network, alpha, epoch_ns)`` and returns an object with a
+#: ``start()`` method, or ``None`` for the unmanaged baseline.  The
+#: concrete policy classes are imported lazily inside the factories so
+#: this module (which they subclass from) stays import-cycle free.
+POLICIES: Registry = Registry("policy")
+
+
+@POLICIES.register("none")
+def _policy_none(network: MemoryNetwork, alpha: float, epoch_ns: float) -> None:
+    return None
+
+
+@POLICIES.register("unaware")
+def _policy_unaware(network: MemoryNetwork, alpha: float, epoch_ns: float):
+    from repro.core.unaware import NetworkUnawarePolicy
+
+    return NetworkUnawarePolicy(network, alpha, epoch_ns)
+
+
+@POLICIES.register("aware")
+def _policy_aware(network: MemoryNetwork, alpha: float, epoch_ns: float):
+    from repro.core.aware import NetworkAwarePolicy
+
+    return NetworkAwarePolicy(network, alpha, epoch_ns)
+
+
+@POLICIES.register("static")
+def _policy_static(network: MemoryNetwork, alpha: float, epoch_ns: float):
+    from repro.core.static_baseline import StaticBaselinePolicy
+
+    return StaticBaselinePolicy(network)
+
+
+#: Recognized management policies (canonical registration order).
+POLICY_NAMES = POLICIES.names()
+
+
+def make_policy(name: str, network: MemoryNetwork, alpha: float, epoch_ns: float):
+    """Build policy ``name`` for ``network`` (ValueError when unknown).
+
+    Returns ``None`` for the ``"none"`` policy.
+    """
+    return POLICIES.get(name)(network, alpha, epoch_ns)
 
 
 def ordered_candidates(
@@ -97,7 +151,9 @@ class ManagementPolicy:
         #: Optional hook ``f(links, epoch_ns)`` fired at each epoch
         #: boundary *before* counters reset -- used by the harness to
         #: collect per-epoch link statistics (e.g. Figure 13 link-hours).
-        self.epoch_observer: Optional[callable] = None
+        self.epoch_observer: Optional[
+            Callable[[Sequence["LinkController"], float], None]
+        ] = None
         #: Optional :class:`repro.obs.Tracer` for ``epoch`` events;
         #: installed by :func:`repro.obs.install_tracer`.
         self.trace = None
@@ -105,7 +161,7 @@ class ManagementPolicy:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Install hooks and schedule the first epoch boundary."""
-        if self.network.mechanism.has_roo:
+        if self.network.has_roo_links:
             self.network.response_wake_mode = self.response_wake_mode
             self.network.aware_sleep_gating = self.aware_sleep_gating
         for link in self.network.all_links():

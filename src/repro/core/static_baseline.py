@@ -62,19 +62,22 @@ class StaticBaselinePolicy:
 
     def start(self) -> None:
         """Set every connectivity link's static width mode."""
-        mech = self.network.mechanism
         for module in self.network.modules:
             target = self.fractions[module.module_id]
-            width_idx = 0
-            for i, mode in enumerate(mech.width_modes):
-                if mode.bw_fraction >= target:
-                    width_idx = i
-                else:
-                    break
-            self.selected[module.module_id] = width_idx
-            state = LinkModeState(
-                width_idx, 0 if mech.has_roo else None
-            )
             for link in module.connectivity_links():
+                # Widths come from each link's own mechanism, so a
+                # heterogeneous network tapers within whatever width
+                # menu each link actually has.
+                mech = link.mech
+                width_idx = 0
+                for i, mode in enumerate(mech.width_modes):
+                    if mode.bw_fraction >= target:
+                        width_idx = i
+                    else:
+                        break
+                self.selected[module.module_id] = width_idx
+                state = LinkModeState(
+                    width_idx, 0 if mech.has_roo else None
+                )
                 link.roo_enabled = False
                 link.set_mode(state, self.network.sim.now)

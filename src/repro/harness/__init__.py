@@ -1,5 +1,6 @@
 """Experiment harness: runners, sweeps, metrics, figure reproduction."""
 
+from repro.harness.builder import Simulation, SimulationBuilder, build_network
 from repro.harness.diskcache import DiskCache, SCHEMA_VERSION, default_cache_dir
 from repro.harness.executor import (
     Executor,
@@ -53,6 +54,9 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",
+    "Simulation",
+    "SimulationBuilder",
+    "build_network",
     "POLICY_NAMES",
     "OBSERVABILITY_FIELDS",
     "RunSettings",

@@ -36,7 +36,10 @@ from repro.harness.io import result_from_cache_dict, result_to_cache_dict
 __all__ = ["DiskCache", "SCHEMA_VERSION", "default_cache_dir"]
 
 #: Bump when the cache-dict layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: ``mechanism_overrides`` joined the config payload (omitted when
+#: empty) and flat result rows gained the column; entries written under
+#: v1 are silently treated as misses, never as stale hits.
+SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:

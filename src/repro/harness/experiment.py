@@ -12,28 +12,20 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.aware import NetworkAwarePolicy
-from repro.core.mechanisms import MECHANISM_NAMES, make_mechanism
-from repro.core.policy import EPOCH_NS
-from repro.core.static_baseline import StaticBaselinePolicy
-from repro.core.unaware import NetworkUnawarePolicy
+from repro.core.mechanisms import canonical_mechanism
+from repro.core.overrides import canonical_override_spec
+from repro.core.policy import EPOCH_NS, POLICIES, POLICY_NAMES
+from repro.harness.builder import SimulationBuilder
 from repro.harness.metrics import (
-    LinkHourCollector,
     avg_link_utilization,
     avg_modules_traversed,
     channel_utilization,
 )
-from repro.network.network import MemoryNetwork
-from repro.network.topology import build_topology
 from repro.power.accounting import PowerBreakdown
-from repro.power.hmc_power import DEFAULT_POWER_MODEL
-from repro.sim.engine import Simulator
-from repro.workloads.generator import ClosedLoopWorkload
-from repro.workloads.mapping import contiguous_mapping, page_interleaved_mapping
-from repro.workloads.profiles import get_profile
+from repro.workloads.mapping import MAPPINGS
 
 __all__ = [
     "ExperimentConfig",
@@ -42,9 +34,6 @@ __all__ = [
     "POLICY_NAMES",
     "OBSERVABILITY_FIELDS",
 ]
-
-#: Recognized management policies.
-POLICY_NAMES: Tuple[str, ...] = ("none", "unaware", "aware", "static")
 
 #: Config fields that only control what is *observed*, not what is
 #: simulated.  They are excluded from :meth:`ExperimentConfig.cache_key`
@@ -75,6 +64,15 @@ class ExperimentConfig:
     seed: int = 1
     wake_ns: float = 14.0
     mapping: str = "contiguous"
+    #: Per-link mechanism override spec (``""`` keeps the network
+    #: homogeneous).  A comma-separated clause list parsed by
+    #: :func:`repro.core.overrides.parse_mechanism_overrides`, e.g.
+    #: ``"depth>=3:ROO+VWL,link:m2-up:FP"``; later clauses win.
+    #: Canonicalized on construction and *included* in :meth:`cache_key`
+    #: when non-empty (overrides change what is simulated); the empty
+    #: spec is excluded so homogeneous configs keep their historical
+    #: keys.
+    mechanism_overrides: str = ""
     #: Fault-injection spec (``""`` disables faults entirely).  A
     #: comma-separated ``key=value`` list parsed by
     #: :func:`repro.faults.parse_fault_spec`; *included* in
@@ -91,19 +89,22 @@ class ExperimentConfig:
     metrics_path: Optional[str] = None
 
     def __post_init__(self) -> None:
-        # Canonicalize mechanism case so "fp", "Fp", and "FP" are the
-        # same config (and hash to the same cache key) everywhere.
-        mechanism = self.mechanism.upper()
+        # Canonicalize names through the registries so "fp", "Fp", and
+        # "FP" (and aliases like "ROO+VWL") are the same config and hash
+        # to the same cache key everywhere.  Unknown names raise the
+        # registry's uniform ValueError.
+        mechanism = canonical_mechanism(self.mechanism)
         if mechanism != self.mechanism:
             object.__setattr__(self, "mechanism", mechanism)
-        if self.policy not in POLICY_NAMES:
-            raise ValueError(f"unknown policy {self.policy!r}")
-        if mechanism not in MECHANISM_NAMES:
-            raise ValueError(f"unknown mechanism {self.mechanism!r}")
+        POLICIES.canonical(self.policy)
+        mapping = MAPPINGS.canonical(self.mapping)
+        if mapping != self.mapping:
+            object.__setattr__(self, "mapping", mapping)
+        overrides = canonical_override_spec(self.mechanism_overrides)
+        if overrides != self.mechanism_overrides:
+            object.__setattr__(self, "mechanism_overrides", overrides)
         if self.scale not in ("small", "big"):
             raise ValueError(f"scale must be 'small' or 'big', got {self.scale!r}")
-        if self.mapping not in ("contiguous", "interleaved"):
-            raise ValueError(f"unknown mapping {self.mapping!r}")
         if self.window_ns <= 0:
             raise ValueError("window must be positive")
         from repro.obs import TRACE_FORMATS, parse_categories
@@ -141,6 +142,7 @@ class ExperimentConfig:
         """
         return self.replace(
             mechanism="FP",
+            mechanism_overrides="",
             policy="none",
             alpha=0.05,
             wake_ns=14.0,
@@ -162,6 +164,11 @@ class ExperimentConfig:
             for name in sorted(self.__dataclass_fields__)
             if name not in OBSERVABILITY_FIELDS
         }
+        if not payload["mechanism_overrides"]:
+            # Homogeneous configs hash exactly as they did before the
+            # field existed, keeping pinned goldens and disk caches
+            # valid.
+            del payload["mechanism_overrides"]
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
 
@@ -229,130 +236,23 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
     called as ``policy_factory(network, alpha, epoch_ns)`` and must
     return an object with a ``start()`` method (used by the ablation
     benchmarks to run modified network-aware variants).
+
+    Assembly lives in :class:`~repro.harness.builder.SimulationBuilder`;
+    this function runs the assembled simulation and measures it.
     """
-    start = time.perf_counter()
-    fault_plan = None
-    if config.fault_spec:
-        from repro.faults import build_plan, execute_sabotage, parse_fault_spec
-
-        fault_spec = parse_fault_spec(config.fault_spec)
-        # Chaos directives (crash/die/hang) fire before any build work:
-        # they exist to exercise the hardened executors, not the model.
-        execute_sabotage(fault_spec)
-    profile = get_profile(config.workload)
-    if config.mapping == "interleaved":
-        mapping = page_interleaved_mapping(profile.footprint_gb, config.scale)
-    else:
-        mapping = contiguous_mapping(profile.footprint_gb, config.scale)
-    topology = build_topology(config.topology, mapping.num_modules)
-    mechanism = make_mechanism(config.mechanism, wake_ns=config.wake_ns)
-
-    sim = Simulator()
-    network = MemoryNetwork(
-        sim,
-        topology,
-        mechanism,
-        mapping,
-        power_model=DEFAULT_POWER_MODEL,
+    simulation = (
+        SimulationBuilder(config).with_policy_factory(policy_factory).build()
     )
+    simulation.run()
 
-    if config.fault_spec:
-        from repro.faults import FaultInjector
-
-        fault_plan = build_plan(
-            fault_spec,
-            [link.name for link in network.all_links()],
-            topology.num_modules,
-            config.window_ns,
-        )
-        if fault_plan.events:
-            FaultInjector(fault_plan).install(network)
-
-    policy = None
-    collector = None
-    if policy_factory is not None:
-        policy = policy_factory(network, config.alpha, config.epoch_ns)
-    elif config.policy == "unaware":
-        policy = NetworkUnawarePolicy(network, config.alpha, config.epoch_ns)
-    elif config.policy == "aware":
-        policy = NetworkAwarePolicy(network, config.alpha, config.epoch_ns)
-    elif config.policy == "static":
-        policy = StaticBaselinePolicy(network)
-    observers = []
-    if config.collect_link_hours and isinstance(
-        policy, (NetworkUnawarePolicy, NetworkAwarePolicy)
-    ):
-        collector = LinkHourCollector()
-        observers.append(collector)
-
-    tracer = None
-    registry = None
-    if config.trace_path is not None or config.metrics_path is not None:
-        from repro.obs import (
-            EpochLinkMetrics,
-            MetricsRegistry,
-            Tracer,
-            install_tracer,
-            make_sink,
-            parse_categories,
-        )
-
-        if config.trace_path is not None:
-            tracer = Tracer(
-                make_sink(config.trace_path, config.trace_format),
-                parse_categories(config.trace_categories or None),
-            )
-            tracer.emit(
-                0.0,
-                "meta",
-                "trace.begin",
-                workload=config.workload,
-                topology=config.topology,
-                mechanism=config.mechanism,
-                policy=config.policy,
-                alpha=config.alpha,
-                window_ns=config.window_ns,
-                epoch_ns=config.epoch_ns,
-                seed=config.seed,
-                modules=topology.num_modules,
-            )
-            install_tracer(tracer, sim=sim, network=network, policy=policy)
-            if fault_plan is not None and tracer.wants("fault"):
-                tracer.emit(
-                    0.0,
-                    "fault",
-                    "fault.plan",
-                    spec=config.fault_spec,
-                    events=len(fault_plan.events),
-                    **fault_plan.summary(),
-                )
-        if config.metrics_path is not None:
-            registry = MetricsRegistry()
-            observers.append(EpochLinkMetrics(registry, sim))
-
-    if observers and policy is not None:
-        if len(observers) == 1:
-            policy.epoch_observer = observers[0]
-        else:
-            def _fanout(links, epoch_ns, _obs=tuple(observers)):
-                for ob in _obs:
-                    ob(links, epoch_ns)
-
-            policy.epoch_observer = _fanout
-
-    workload = ClosedLoopWorkload(
-        network, profile, stop_ns=config.window_ns, seed=config.seed
-    )
-
-    network.start()
-    if policy is not None:
-        policy.start()
-    workload.start()
-    sim.run(until=config.window_ns)
-    network.finalize(config.window_ns)
+    sim = simulation.sim
+    network = simulation.network
+    policy = simulation.policy
+    fault_plan = simulation.fault_plan
 
     trace_events = 0
-    if tracer is not None:
+    if simulation.tracer is not None:
+        tracer = simulation.tracer
         tracer.emit(
             config.window_ns,
             "meta",
@@ -362,8 +262,8 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
         )
         trace_events = tracer.events_emitted
         tracer.close()
-    if registry is not None:
-        registry.write_json(config.metrics_path)
+    if simulation.metrics is not None:
+        simulation.metrics.write_json(config.metrics_path)
 
     link_retries = 0
     retry_flits = 0
@@ -382,13 +282,13 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
     breakdown = PowerBreakdown.from_ledgers(
         (m.ledger for m in network.modules),
         config.window_ns,
-        topology.num_modules,
+        simulation.topology.num_modules,
     )
     return ExperimentResult(
         config=config,
-        num_modules=topology.num_modules,
+        num_modules=simulation.topology.num_modules,
         breakdown=breakdown,
-        throughput_per_s=workload.throughput_per_s(config.window_ns),
+        throughput_per_s=simulation.workload.throughput_per_s(config.window_ns),
         avg_read_latency_ns=network.avg_read_latency_ns,
         max_read_latency_ns=network.max_read_latency_ns,
         channel_utilization=channel_utilization(network, config.window_ns),
@@ -404,7 +304,9 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
         retry_time_ns=retry_time_ns,
         vault_stalls=vault_stalls,
         fault_events=fault_events,
-        link_hours=collector.hours if collector is not None else None,
+        link_hours=(
+            simulation.collector.hours if simulation.collector is not None else None
+        ),
         events_processed=sim.events_processed,
-        wall_time_s=time.perf_counter() - start,
+        wall_time_s=time.perf_counter() - simulation.build_started,
     )

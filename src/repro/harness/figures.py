@@ -41,6 +41,8 @@ __all__ = [
     "fig17_aware_performance",
     "fig18_dvfs_sensitivity",
     "sec7_static_comparison",
+    "hetero_depth",
+    "HETERO_DEPTH_SERIES",
 ]
 
 #: The subset used for heavy grids when REPRO_BENCH_FULL is unset;
@@ -492,6 +494,72 @@ def sec7_static_comparison(
     }
 
 
+# ----------------------------------------------------------------------
+# Beyond the paper -- heterogeneous per-depth mechanism staging
+# ----------------------------------------------------------------------
+#: (label, base mechanism, mechanism_overrides spec, policy) series
+#: compared by :func:`hetero_depth`.  The paper only evaluates
+#: homogeneous networks; the two staged mixes use the override layer to
+#: manage deep (cold, Figure 13) links aggressively while pinning the
+#: processor-adjacent links, where utilization concentrates (Figure 9),
+#: at full power.
+HETERO_DEPTH_SERIES: Tuple[Tuple[str, str, str, str], ...] = (
+    ("FP", "FP", "", "none"),
+    ("VWL+ROO", "VWL+ROO", "", "aware"),
+    ("deep-managed", "FP", "depth>=2:VWL+ROO", "aware"),
+    ("root-pinned", "VWL+ROO", "depth<=1:FP", "aware"),
+)
+
+
+def _hetero_config(
+    settings: RunSettings,
+    workload: str,
+    topology: str,
+    mechanism: str,
+    overrides: str,
+    policy: str,
+    scale: str = "big",
+    alpha: float = 0.05,
+) -> ExperimentConfig:
+    return settings.base_config(
+        workload=workload,
+        topology=topology,
+        scale=scale,
+        mechanism=mechanism,
+        mechanism_overrides=overrides,
+        policy=policy,
+        alpha=alpha,
+    )
+
+
+def hetero_depth(
+    runner: SweepRunner, settings: RunSettings, scale: str = "big"
+) -> List[Tuple[str, str, str, float, float, float]]:
+    """Homogeneous FP / VWL+ROO vs depth-staged mechanism mixes.
+
+    Rows of (topology, series label, override spec, avg power reduction
+    vs FP, avg degradation vs FP, max degradation vs FP), averaged over
+    the settings' workloads on the big-scale networks, where depth
+    differentiation is largest.
+    """
+    rows = []
+    for topology in settings.topologies:
+        for label, mechanism, overrides, policy in HETERO_DEPTH_SERIES:
+            reductions = []
+            degs = []
+            for workload in settings.workloads:
+                config = _hetero_config(
+                    settings, workload, topology, mechanism, overrides, policy,
+                    scale=scale,
+                )
+                reductions.append(runner.power_reduction_vs_baseline(config))
+                degs.append(runner.degradation_vs_baseline(config))
+            rows.append(
+                (topology, label, overrides, _avg(reductions), _avg(degs), max(degs))
+            )
+    return rows
+
+
 def _avg(values) -> float:
     values = list(values)
     return sum(values) / len(values) if values else 0.0
@@ -579,6 +647,18 @@ def _fig18_grid(settings: RunSettings) -> List[ExperimentConfig]:
     return out
 
 
+def _hetero_depth_grid(settings: RunSettings) -> List[ExperimentConfig]:
+    out: List[ExperimentConfig] = []
+    for topology in settings.topologies:
+        for _label, mechanism, overrides, policy in HETERO_DEPTH_SERIES:
+            for workload in settings.workloads:
+                cfg = _hetero_config(
+                    settings, workload, topology, mechanism, overrides, policy
+                )
+                out += [cfg, cfg.baseline()]
+    return out
+
+
 def _sec7_grid(settings: RunSettings) -> List[ExperimentConfig]:
     out: List[ExperimentConfig] = []
     for topology in settings.topologies:
@@ -610,6 +690,7 @@ FIGURE_CONFIGS: Dict[str, Callable[[RunSettings], List[ExperimentConfig]]] = {
     "fig17": lambda s: _managed_grid(s, ("aware", "unaware"), with_baselines=True),
     "fig18": _fig18_grid,
     "sec7": _sec7_grid,
+    "hetero-depth": _hetero_depth_grid,
 }
 
 

@@ -41,7 +41,8 @@ __all__ = [
 
 #: Flat result columns, in CSV order.
 RESULT_FIELDS: Sequence[str] = (
-    "workload", "topology", "scale", "mechanism", "policy", "alpha",
+    "workload", "topology", "scale", "mechanism", "mechanism_overrides",
+    "policy", "alpha",
     "seed", "fault_spec", "num_modules",
     "power_per_hmc_w", "network_power_w",
     "idle_io_w", "active_io_w", "logic_leak_w", "logic_dyn_w",
@@ -57,8 +58,16 @@ RESULT_FIELDS: Sequence[str] = (
 
 
 def config_to_dict(config: ExperimentConfig) -> Dict:
-    """ExperimentConfig -> plain dict (JSON-safe)."""
-    return asdict(config)
+    """ExperimentConfig -> plain dict (JSON-safe).
+
+    The empty ``mechanism_overrides`` spec is omitted so serialized
+    homogeneous configs are byte-identical to those written before the
+    field existed (pinned goldens, disk-cache payloads).
+    """
+    out = asdict(config)
+    if not out["mechanism_overrides"]:
+        del out["mechanism_overrides"]
+    return out
 
 
 def config_from_dict(data: Dict) -> ExperimentConfig:
@@ -79,6 +88,7 @@ def result_to_dict(result: ExperimentResult) -> Dict:
         "topology": cfg.topology,
         "scale": cfg.scale,
         "mechanism": cfg.mechanism,
+        "mechanism_overrides": cfg.mechanism_overrides,
         "policy": cfg.policy,
         "alpha": cfg.alpha,
         "seed": cfg.seed,

@@ -25,7 +25,7 @@ two response-link wakeup strategies of the paper:
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.core.mechanisms import MechanismConfig
 from repro.dram.timing import DEFAULT_TIMING, DramTiming
@@ -52,6 +52,7 @@ class MemoryNetwork:
         power_model: HmcPowerModel = DEFAULT_POWER_MODEL,
         timing: DramTiming = DEFAULT_TIMING,
         roo_enabled: bool = True,
+        link_mechanisms: Optional[Mapping[str, MechanismConfig]] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -59,6 +60,14 @@ class MemoryNetwork:
         self.mapping = mapping
         self.power_model = power_model
         self.timing = timing
+        #: Per-link mechanism overrides keyed by link name
+        #: (``req:{parent}->{i}`` / ``resp:{i}->{parent}``); links absent
+        #: from the mapping run the network-wide ``mechanism``.  Built
+        #: from an ``ExperimentConfig.mechanism_overrides`` spec via
+        #: :func:`repro.core.overrides.resolve_link_mechanisms`.
+        self.link_mechanisms: Dict[str, MechanismConfig] = dict(
+            link_mechanisms or {}
+        )
 
         #: Hook fired when a read completes at the processor.
         self.on_read_complete: Optional[Callable[[Packet, float], None]] = None
@@ -127,36 +136,39 @@ class MemoryNetwork:
     def _build_links(self, roo_enabled: bool) -> None:
         topo = self.topology
         endpoint_w = self.power_model.link_endpoint_w()
+        overrides = self.link_mechanisms
         self._links: List[LinkController] = []
         for i, module in enumerate(self.modules):
             parent = topo.parent[i]
             parent_ledger = (
                 self.modules[parent].ledger if parent != PROCESSOR else module.ledger
             )
+            req_name = f"req:{parent}->{i}"
+            resp_name = f"resp:{i}->{parent}"
             req = LinkController(
                 self.sim,
-                name=f"req:{parent}->{i}",
+                name=req_name,
                 direction=LinkDir.REQUEST,
                 src=parent,
                 dst=i,
-                mech=self.mechanism,
+                mech=overrides.get(req_name, self.mechanism),
                 endpoint_w=endpoint_w,
                 ledger_src=parent_ledger,
                 ledger_dst=module.ledger,
             )
             resp = LinkController(
                 self.sim,
-                name=f"resp:{i}->{parent}",
+                name=resp_name,
                 direction=LinkDir.RESPONSE,
                 src=i,
                 dst=parent,
-                mech=self.mechanism,
+                mech=overrides.get(resp_name, self.mechanism),
                 endpoint_w=endpoint_w,
                 ledger_src=module.ledger,
                 ledger_dst=parent_ledger,
             )
-            req.roo_enabled = roo_enabled and self.mechanism.has_roo
-            resp.roo_enabled = req.roo_enabled
+            req.roo_enabled = roo_enabled and req.mech.has_roo
+            resp.roo_enabled = roo_enabled and resp.mech.has_roo
             module.req_in = req
             module.resp_out = resp
             module.children = list(topo.children[i])
@@ -176,6 +188,22 @@ class MemoryNetwork:
         ]
         for i, module in enumerate(self.modules):
             module.req_in.next_ctrl = self._make_req_next(i)
+        built = {link.name for link in self._links}
+        unknown = sorted(set(self.link_mechanisms) - built)
+        if unknown:
+            raise ValueError(
+                f"link_mechanisms names unknown links {unknown}; "
+                f"this topology has {sorted(built)}"
+            )
+        # Mechanism aggregates over the (possibly heterogeneous) link
+        # set.  With no overrides these equal the network-wide
+        # mechanism's own flags (independent of ``roo_enabled``, exactly
+        # like the ``self.mechanism.has_roo`` guards they replace),
+        # keeping homogeneous runs bit-identical.
+        self._has_roo_links = any(link.mech.has_roo for link in self._links)
+        self._has_width_scaling_links = any(
+            link.mech.has_width_scaling for link in self._links
+        )
 
     def _make_req_next(self, i: int):
         route = self._route_req[i]
@@ -274,7 +302,7 @@ class MemoryNetwork:
             module.dram_reads += 1
             # Guard inlined: with wakeup hiding disabled (the common
             # fig5 baseline) _wake_response_path is a no-op per read.
-            if self.response_wake_mode != "none" and self.mechanism.has_roo:
+            if self.response_wake_mode != "none" and self._has_roo_links:
                 self._wake_response_path(i, now)
         module.ledger.dram_dyn_j += module.e_access_j
         access = module.vaults.access(now, pkt.address, is_read)
@@ -334,7 +362,7 @@ class MemoryNetwork:
     # ------------------------------------------------------------------
     def _wake_response_path(self, dest: int, now: float) -> None:
         mode = self.response_wake_mode
-        if mode == "none" or not self.mechanism.has_roo:
+        if mode == "none" or not self._has_roo_links:
             return
         if mode == "module":
             self.modules[dest].resp_out.wake_proactively(now)
@@ -436,6 +464,16 @@ class MemoryNetwork:
                 )
         for link in self.all_links():
             link.start(self.sim.now)
+
+    @property
+    def has_roo_links(self) -> bool:
+        """Whether any link's mechanism supports row-open/off (ROO)."""
+        return self._has_roo_links
+
+    @property
+    def has_width_scaling_links(self) -> bool:
+        """Whether any link's mechanism supports width scaling."""
+        return self._has_width_scaling_links
 
     def all_links(self) -> List[LinkController]:
         """Every unidirectional link controller in the network.

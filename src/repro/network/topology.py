@@ -44,7 +44,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.registry import Registry
 
 __all__ = [
     "Radix",
@@ -217,6 +219,12 @@ class Topology:
 # ----------------------------------------------------------------------
 # Builders
 # ----------------------------------------------------------------------
+#: Registry of builders by name; decorate a ``(n: int) -> Topology``
+#: callable with ``@TOPOLOGY_BUILDERS.register("name")`` to add one.
+TOPOLOGY_BUILDERS: Registry = Registry("topology", error_cls=TopologyError)
+
+
+@TOPOLOGY_BUILDERS.register("daisychain")
 def daisychain(n: int) -> Topology:
     """A chain of ``n`` low-radix modules: processor - 0 - 1 - ... - n-1."""
     _check_n(n)
@@ -225,6 +233,7 @@ def daisychain(n: int) -> Topology:
     return Topology("daisychain", parent, radix)
 
 
+@TOPOLOGY_BUILDERS.register("ternary_tree")
 def ternary_tree(n: int) -> Topology:
     """A complete ternary tree of ``n`` high-radix modules, BFS numbered."""
     _check_n(n)
@@ -233,13 +242,15 @@ def ternary_tree(n: int) -> Topology:
     return Topology("ternary_tree", parent, radix)
 
 
-def star(n: int) -> Topology:
-    """Rings of modules equidistant from the processor.
+def _ring_growth(name: str, n: int, ring_cap: Optional[int] = None) -> Topology:
+    """Shared ring-growth builder behind ``star`` and ``box``.
 
-    Children of ring ``r`` are distributed round-robin over ring ``r``'s
-    modules; a module becomes high-radix only when it receives two or
-    more children.  The root is always high-radix (it anchors the first
-    ring of up to three modules).
+    Rings of modules equidistant from the processor: children of ring
+    ``r`` are distributed round-robin over ring ``r``'s modules, each of
+    which can anchor up to three children, so ring ``r+1`` holds at most
+    ``3 * len(ring r)`` modules -- further capped at ``ring_cap`` when
+    given.  A module becomes high-radix only when it receives two or
+    more children; the root is always high-radix.
     """
     _check_n(n)
     parent = [PROCESSOR]
@@ -248,6 +259,8 @@ def star(n: int) -> Topology:
     placed = 1
     while placed < n:
         capacity = 3 * len(ring)
+        if ring_cap is not None:
+            capacity = min(ring_cap, capacity)
         take = min(n - placed, capacity)
         next_ring: List[int] = []
         for j in range(take):
@@ -262,9 +275,22 @@ def star(n: int) -> Topology:
         Radix.HIGH if (i == 0 or child_count[i] >= 2) else Radix.LOW
         for i in range(n)
     ]
-    return Topology("star", parent, radix)
+    return Topology(name, parent, radix)
 
 
+@TOPOLOGY_BUILDERS.register("star")
+def star(n: int) -> Topology:
+    """Rings of modules equidistant from the processor.
+
+    Children of ring ``r`` are distributed round-robin over ring ``r``'s
+    modules; a module becomes high-radix only when it receives two or
+    more children.  The root is always high-radix (it anchors the first
+    ring of up to three modules).
+    """
+    return _ring_growth("star", n)
+
+
+@TOPOLOGY_BUILDERS.register("ddrx_like")
 def ddrx_like(n: int, row_width: int = 3) -> Topology:
     """Rows of ``row_width`` modules, scaling by adding rows.
 
@@ -301,45 +327,16 @@ def ddrx_like(n: int, row_width: int = 3) -> Topology:
     return Topology("ddrx_like", parent, radix)
 
 
+@TOPOLOGY_BUILDERS.register("box")
 def box(n: int) -> Topology:
     """Star-like growth with rings capped at four modules (extra topology)."""
-    _check_n(n)
-    parent = [PROCESSOR]
-    child_count = [0]
-    ring = [0]
-    placed = 1
-    while placed < n:
-        capacity = min(4, 3 * len(ring))
-        take = min(n - placed, capacity)
-        next_ring: List[int] = []
-        for j in range(take):
-            p = ring[j % len(ring)]
-            parent.append(p)
-            child_count[p] += 1
-            child_count.append(0)
-            next_ring.append(placed)
-            placed += 1
-        ring = next_ring
-    radix = [
-        Radix.HIGH if (i == 0 or child_count[i] >= 2) else Radix.LOW
-        for i in range(n)
-    ]
-    return Topology("box", parent, radix)
+    return _ring_growth("box", n, ring_cap=4)
 
 
 def _check_n(n: int) -> None:
     if n < 1:
         raise TopologyError(f"need at least one module, got {n}")
 
-
-#: Registry of builders by name; the first four are the paper's topologies.
-TOPOLOGY_BUILDERS = {
-    "daisychain": daisychain,
-    "ternary_tree": ternary_tree,
-    "star": star,
-    "ddrx_like": ddrx_like,
-    "box": box,
-}
 
 #: The four topologies evaluated in the paper's result figures.
 TOPOLOGY_NAMES: Tuple[str, ...] = ("daisychain", "ternary_tree", "star", "ddrx_like")
@@ -353,10 +350,4 @@ def build_topology(name: str, n: int) -> Topology:
     TopologyError
         If ``name`` is unknown or ``n`` is invalid.
     """
-    try:
-        builder = TOPOLOGY_BUILDERS[name]
-    except KeyError:
-        raise TopologyError(
-            f"unknown topology {name!r}; choose from {sorted(TOPOLOGY_BUILDERS)}"
-        ) from None
-    return builder(n)
+    return TOPOLOGY_BUILDERS.get(name)(n)

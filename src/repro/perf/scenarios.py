@@ -254,17 +254,15 @@ def _network_hop(quick: bool) -> Callable[[], Tuple[int, str]]:
 
     def work() -> Tuple[int, str]:
         from repro.core.mechanisms import make_mechanism
-        from repro.network.network import MemoryNetwork
+        from repro.harness.builder import build_network
         from repro.network.topology import build_topology
-        from repro.sim.engine import Simulator
 
-        sim = Simulator()
-        network = MemoryNetwork(
-            sim,
+        network = build_network(
             build_topology("daisychain", modules),
             make_mechanism("FP"),
             _RoundRobinMapping(modules),
         )
+        sim = network.sim
         network.start()
         rng = _lcg(7)
         t = 1.0
@@ -322,24 +320,14 @@ def _workload_generation(quick: bool) -> Callable[[], Tuple[int, str]]:
     per_stream = 2_000 if quick else 12_000
 
     def work() -> Tuple[int, str]:
-        from repro.core.mechanisms import make_mechanism
-        from repro.network.network import MemoryNetwork
-        from repro.network.topology import build_topology
-        from repro.sim.engine import Simulator
-        from repro.workloads.generator import ClosedLoopWorkload
-        from repro.workloads.mapping import contiguous_mapping
-        from repro.workloads.profiles import get_profile
+        from repro.harness.builder import SimulationBuilder
+        from repro.harness.experiment import ExperimentConfig
 
-        profile = get_profile("mixB")
-        mapping = contiguous_mapping(profile.footprint_gb, "small")
-        sim = Simulator()
-        network = MemoryNetwork(
-            sim,
-            build_topology("daisychain", mapping.num_modules),
-            make_mechanism("FP"),
-            mapping,
-        )
-        wl = ClosedLoopWorkload(network, profile, stop_ns=1.0, seed=9)
+        simulation = SimulationBuilder(
+            ExperimentConfig(workload="mixB", window_ns=1.0, seed=9)
+        ).build()
+        wl = simulation.workload
+        profile = simulation.profile
         total = 0
         count = 0
         for s in range(min(4, profile.streams)):
@@ -398,6 +386,29 @@ def _e2e_fig9(quick: bool) -> Callable[[], Tuple[int, str]]:
         mechanism="FP",
         policy="none",
         window_ns=40_000.0 if quick else 200_000.0,
+        epoch_ns=20_000.0,
+        seed=1,
+    )
+    return lambda: _e2e(kwargs)
+
+
+@register(
+    "e2e_hetero",
+    "heterogeneous per-depth override pipeline run "
+    "(mixB / daisychain / aware, depth-staged VWL+ROO)",
+    repeats=3,
+    quick_repeats=2,
+)
+def _e2e_hetero(quick: bool) -> Callable[[], Tuple[int, str]]:
+    kwargs = dict(
+        workload="mixB",
+        topology="daisychain",
+        scale="small",
+        mechanism="FP",
+        mechanism_overrides="depth>=2:VWL+ROO,link:m0-up:FP",
+        policy="aware",
+        alpha=0.05,
+        window_ns=60_000.0 if quick else 400_000.0,
         epoch_ns=20_000.0,
         seed=1,
     )

@@ -11,11 +11,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.registry import Registry
+
 __all__ = [
     "AddressMapping",
     "contiguous_mapping",
     "page_interleaved_mapping",
     "modules_for_footprint",
+    "make_mapping",
+    "MAPPINGS",
+    "MAPPING_NAMES",
     "SMALL_SLICE_BYTES",
     "BIG_SLICE_BYTES",
     "PAGE_BYTES",
@@ -77,6 +82,11 @@ def modules_for_footprint(footprint_gb: float, scale: str) -> int:
     return max(1, math.ceil(footprint_gb * 1024**3 / slice_bytes))
 
 
+#: Registry of mapping factories (``(footprint_gb, scale) -> AddressMapping``).
+MAPPINGS: Registry = Registry("mapping")
+
+
+@MAPPINGS.register("contiguous")
 def contiguous_mapping(footprint_gb: float, scale: str) -> AddressMapping:
     """The paper's default mapping: contiguous slices, one per HMC."""
     return AddressMapping(
@@ -86,6 +96,7 @@ def contiguous_mapping(footprint_gb: float, scale: str) -> AddressMapping:
     )
 
 
+@MAPPINGS.register("interleaved", aliases=("page_interleaved",))
 def page_interleaved_mapping(footprint_gb: float, scale: str) -> AddressMapping:
     """Section VII-A's mapping: 4 KB pages striped across all modules."""
     return AddressMapping(
@@ -93,6 +104,15 @@ def page_interleaved_mapping(footprint_gb: float, scale: str) -> AddressMapping:
         granularity_bytes=PAGE_BYTES,
         interleaved=True,
     )
+
+
+#: Recognized mapping names (canonical spellings).
+MAPPING_NAMES = MAPPINGS.names()
+
+
+def make_mapping(name: str, footprint_gb: float, scale: str) -> AddressMapping:
+    """Build the address mapping ``name`` (ValueError when unknown)."""
+    return MAPPINGS.get(name)(footprint_gb, scale)
 
 
 def _slice_bytes(scale: str) -> int:

@@ -68,6 +68,23 @@ class TestDiskCache:
         assert fresh.get(cfg) is None
         assert len(fresh) == 0
 
+    def test_v1_entries_are_misses_under_v2(self, tmp_path, cfg, monkeypatch):
+        """Entries written under schema v1 (before mechanism_overrides
+        joined the payload) are silently skipped, never read as stale
+        hits and never crashed on."""
+        assert dc.SCHEMA_VERSION == 2
+        monkeypatch.setattr(dc, "SCHEMA_VERSION", 1)
+        old = DiskCache(tmp_path)
+        v1_path = old.put(cfg, SweepRunner().run(cfg))
+        monkeypatch.setattr(dc, "SCHEMA_VERSION", 2)
+        fresh = DiskCache(tmp_path)
+        assert fresh.get(cfg) is None
+        assert fresh.misses == 1
+        assert fresh.quarantined == 0  # a miss, not corruption
+        assert len(fresh) == 0
+        # The v1 entry is untouched on disk for anyone still on v1.
+        assert v1_path.exists()
+
     def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path, cfg):
         cache = DiskCache(tmp_path)
         cache.put(cfg, SweepRunner().run(cfg))

@@ -114,8 +114,101 @@ class TestDdrxLike:
         assert t.depth(4) == t.depth(5) == 3
 
 
-class TestBox:
-    def test_rings_capped_at_four(self):
+class TestDdrxRowWidth:
+    def test_row_width_one_degenerates_to_a_chain(self):
+        t = ddrx_like(5, row_width=1)
+        assert t.parent == daisychain(5).parent
+        assert [t.depth(i) for i in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_row_width_two(self):
+        t = ddrx_like(6, row_width=2)
+        # Row 0 is [0, 1]; rows below hang module i off module i - 2.
+        assert t.parent == [-1, 0, 0, 1, 2, 3]
+        assert t.depth(0) == 1
+        assert t.depth(1) == 2
+        assert t.depth(2) == 2
+        assert t.depth(4) == 3
+
+    def test_row_width_five(self):
+        t = ddrx_like(15, row_width=5)
+        # Row 0 chains horizontally: 1, 2 off 0, then 3 off 1, 4 off 2.
+        assert t.parent[:5] == [-1, 0, 0, 1, 2]
+        # Each deeper row hangs straight below the previous one.
+        assert all(t.parent[i] == i - 5 for i in range(5, 15))
+        assert t.radix[0] is Radix.HIGH
+
+    def test_row_width_must_be_positive(self):
+        with pytest.raises(TopologyError):
+            ddrx_like(4, row_width=0)
+
+    def test_partial_last_row(self):
+        # 7 modules with row_width 3: full rows of 3, then one leftover.
+        t = ddrx_like(7)
+        assert t.num_modules == 7
+        assert t.parent[6] == 3
+
+
+class TestSingleModule:
+    """Every builder must handle the degenerate one-module network."""
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_BUILDERS))
+    def test_one_module_topology(self, name):
+        t = build_topology(name, 1)
+        assert t.num_modules == 1
+        assert t.parent == [-1]
+        assert t.depth(0) == 1
+        assert t.max_depth == 1
+        assert t.children[0] == []
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_BUILDERS))
+    def test_one_module_network_builds_and_runs(self, name):
+        from repro.core.mechanisms import make_mechanism
+        from repro.harness.builder import build_network
+        from repro.workloads.mapping import make_mapping
+
+        network = build_network(
+            build_topology(name, 1),
+            make_mechanism("VWL+ROO"),
+            make_mapping("contiguous", footprint_gb=1.0, scale="small"),
+        )
+        links = list(network.all_links())
+        assert len(links) == 2  # one request, one response
+        assert {link.name for link in links} == {"req:-1->0", "resp:0->-1"}
+        network.start()
+        network.sim.run(until=1_000.0)
+
+
+class TestRegistryDrift:
+    """The registry, the paper-name tuple, and the CLI stay in sync."""
+
+    def test_every_registered_name_builds_its_own_name(self):
+        for name in TOPOLOGY_BUILDERS.names():
+            assert build_topology(name, 4).name == name
+
+    def test_paper_names_are_exactly_the_documented_four(self):
+        assert TOPOLOGY_NAMES == ("daisychain", "ternary_tree", "star", "ddrx_like")
+        assert set(TOPOLOGY_NAMES) <= set(TOPOLOGY_BUILDERS.names())
+
+    def test_registry_matches_module_level_builders(self):
+        # Guards against registering a builder without exporting it (or
+        # vice versa): every registered callable is the module function.
+        import repro.network.topology as topo_mod
+
+        for name in TOPOLOGY_BUILDERS.names():
+            assert TOPOLOGY_BUILDERS.get(name) is getattr(topo_mod, name)
+
+    def test_cli_choices_track_the_registry(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        run_parser = next(
+            a for a in parser._subparsers._group_actions[0].choices.values()
+            if a.prog.endswith(" run")
+        )
+        topo_action = next(
+            a for a in run_parser._actions if "--topology" in a.option_strings
+        )
+        assert list(topo_action.choices) == sorted(TOPOLOGY_BUILDERS)
         t = box(10)
         from collections import Counter
 
