@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
-"""Check that intra-repo Markdown links resolve to real files.
+"""Check that docs stay consistent with the repo: links and CLI usage.
 
-Scans every tracked ``*.md`` file for inline links and flags relative
-targets that do not exist (anchors and external ``http(s)``/``mailto``
-links are ignored). Used by ``tests/test_docs_and_examples.py`` and the
-CI docs job::
+Two guards over every tracked ``*.md`` file, used by
+``tests/test_docs_and_examples.py`` and the CI docs job:
 
-    python scripts/check_docs_links.py          # exit 1 on broken links
+* intra-repo Markdown links must resolve to real files (anchors and
+  external ``http(s)``/``mailto`` links are ignored);
+* every ``repro-mnet`` invocation must name a real subcommand and real
+  flags for that subcommand, verified against the live argparse tree
+  (so renaming a flag without updating the docs fails CI).
+
+::
+
+    python scripts/check_docs_links.py          # exit 1 on any drift
 """
 
 from __future__ import annotations
@@ -14,13 +20,20 @@ from __future__ import annotations
 import pathlib
 import re
 import sys
-from typing import List, Tuple
+from typing import Dict, List, Set, Tuple
 
 #: Inline Markdown links: [text](target). Images share the syntax.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
 #: Directories that hold generated or third-party content.
-_SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", "results", ".venv"}
+_SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", "results", ".venv", ".claude"}
+
+#: A ``repro-mnet`` invocation start: not part of a path
+#: (``~/.cache/repro-mnet``) or a schema id (``repro-mnet-bench/v1``).
+_CLI_CALL = re.compile(r"(?<![\w/.-])repro-mnet(?![\w/-])")
+
+#: Tokens that end one command within a line (chaining, comments).
+_CLI_STOP = {"&&", "||", ";", "|", "#"}
 
 
 def _markdown_files(repo: pathlib.Path) -> List[pathlib.Path]:
@@ -47,16 +60,112 @@ def broken_links(repo: pathlib.Path) -> List[Tuple[str, str]]:
     return broken
 
 
+def cli_surface(repo: pathlib.Path) -> Dict[str, Set[str]]:
+    """subcommand -> set of ``--flags`` from the live argparse tree."""
+    src = str(repo / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    commands: Dict[str, Set[str]] = {}
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                commands[name] = {
+                    opt
+                    for sub_action in sub._actions
+                    for opt in sub_action.option_strings
+                    if opt.startswith("--")
+                }
+    return commands
+
+
+#: Prose punctuation that may trail a token (``--json`,`` / ``run`.``).
+_TRAIL = "),.;:!?'\""
+
+
+def _clean_token(token: str) -> str:
+    """Strip code-span backticks and trailing prose punctuation.
+
+    Punctuation and backticks interleave at the end of a code span
+    (``--quick`.``), so strip in both orders.
+    """
+    return token.rstrip(_TRAIL).strip("`").rstrip(_TRAIL)
+
+
+def cli_drift(repo: pathlib.Path) -> List[Tuple[str, str]]:
+    """Doc'd ``repro-mnet`` usage that the argparse tree does not have.
+
+    Scans each occurrence for a subcommand token and ``--flag`` tokens
+    (up to the end of the code span / command), and reports unknown
+    subcommands and flags as ``(markdown file, problem)`` pairs.
+    Values, paths, and prose tokens are ignored.
+    """
+    commands = cli_surface(repo)
+    all_flags = set().union(*commands.values())
+    problems: List[Tuple[str, str]] = []
+    for md in _markdown_files(repo):
+        # Join backslash line-continuations so multi-line command
+        # examples scan as one invocation.
+        text = re.sub(r"\\\n\s*", " ", md.read_text())
+        for line in text.splitlines():
+            for match in _CLI_CALL.finditer(line):
+                rest = line[match.end():]
+                if rest.startswith("`"):
+                    continue  # ``repro-mnet`` mentioned as a bare name
+                subcommand = None
+                for raw in rest.split():
+                    stop = raw.rstrip(_TRAIL).endswith("`")
+                    token = _clean_token(raw)
+                    if token in _CLI_STOP or token.startswith("#"):
+                        break
+                    if token.startswith("--"):
+                        flag = token.split("=", 1)[0]
+                        known = (
+                            commands[subcommand]
+                            if subcommand in commands
+                            else all_flags
+                        )
+                        if re.fullmatch(r"--[a-z][a-z0-9-]*", flag) and (
+                            flag not in known and flag != "--help"
+                        ):
+                            where = subcommand or "repro-mnet"
+                            problems.append(
+                                (str(md.relative_to(repo)),
+                                 f"unknown flag {flag} for '{where}'")
+                            )
+                    elif subcommand is None:
+                        if not re.fullmatch(r"[a-z][a-z0-9-]+", token):
+                            break  # prose, not a command line
+                        if token not in commands:
+                            problems.append(
+                                (str(md.relative_to(repo)),
+                                 f"unknown subcommand '{token}'")
+                            )
+                            break
+                        subcommand = token
+                    if stop:
+                        break
+    return problems
+
+
 def main() -> int:
     """CLI entry point; prints broken links and returns the exit code."""
     repo = pathlib.Path(__file__).resolve().parent.parent
     broken = broken_links(repo)
     for src, target in broken:
         print(f"{src}: broken link -> {target}")
-    if broken:
-        print(f"{len(broken)} broken intra-repo link(s)", file=sys.stderr)
+    drift = cli_drift(repo)
+    for src, problem in drift:
+        print(f"{src}: CLI drift -> {problem}")
+    if broken or drift:
+        print(f"{len(broken)} broken intra-repo link(s), "
+              f"{len(drift)} doc/CLI drift problem(s)", file=sys.stderr)
         return 1
-    print(f"all intra-repo links resolve across "
+    print(f"all intra-repo links and repro-mnet usages check out across "
           f"{len(_markdown_files(repo))} Markdown files")
     return 0
 

@@ -53,6 +53,13 @@ from repro.network import (
 from repro.power import DEFAULT_POWER_MODEL, HmcPowerModel, PowerBreakdown
 from repro.registry import Registry
 from repro.sim import Simulator
+from repro.validation import (
+    AuditViolationError,
+    ValidationReport,
+    Violation,
+    run_suite,
+    validate_config,
+)
 from repro.workloads import WORKLOAD_NAMES, ClosedLoopWorkload, get_profile
 
 __version__ = "1.1.0"
@@ -85,4 +92,9 @@ __all__ = [
     "SweepRunner",
     "SimulationBuilder",
     "Registry",
+    "Violation",
+    "ValidationReport",
+    "AuditViolationError",
+    "validate_config",
+    "run_suite",
 ]

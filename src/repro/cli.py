@@ -8,6 +8,7 @@ Subcommands::
     repro-mnet figure fig5 [--full]      # regenerate a paper artifact
     repro-mnet trace out.jsonl --kind events   # event trace + printed summary
     repro-mnet bench --out BENCH.json    # performance microbenchmarks
+    repro-mnet validate --quick          # invariant-validation suite
 
 The ``figure`` subcommand accepts: fig4, fig5, fig6, fig8, fig9, fig11,
 fig12, fig13, fig15, fig16, fig17, fig18, sec7, and hetero-depth (a
@@ -142,6 +143,7 @@ def _cmd_run(args) -> int:
         trace_format=args.trace_format,
         trace_categories=args.trace_categories,
         metrics_path=args.metrics_out,
+        audit=args.audit,
     )
     runner = _make_runner(args)
     try:
@@ -333,6 +335,13 @@ def build_parser() -> argparse.ArgumentParser:
     obs_group.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write per-epoch aggregated metrics as JSON")
+    obs_group.add_argument(
+        "--audit", nargs="?", const="strict", default="",
+        choices=["warn", "strict"], metavar="MODE",
+        help="run invariant checks during and after the simulation: "
+             "'strict' (default when the flag is given) fails the run "
+             "on any violation, 'warn' reports to stderr and continues "
+             "(see docs/validation.md)")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper artifact",
                            parents=[exec_flags])
@@ -382,6 +391,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run only the named benchmarks")
     bench_p.add_argument("--list", action="store_true",
                          help="list benchmark scenarios and exit")
+
+    val_p = sub.add_parser(
+        "validate",
+        help="run the invariant-validation suite (see docs/validation.md)")
+    val_p.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized matrix: all four topologies, unmanaged + managed, "
+             "short windows, no metamorphic relations")
+    val_p.add_argument(
+        "--metamorphic", action="store_true",
+        help="force the metamorphic relations on (they default to "
+             "running only without --quick)")
+    val_p.add_argument(
+        "--sabotage", default=None, metavar="KIND",
+        help="self-test: corrupt one counter after each run and expect "
+             "the checkers to fire (KIND from --list-checks output)")
+    val_p.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the structured violation report as JSON")
+    val_p.add_argument(
+        "--markdown", default=None, metavar="FILE",
+        help="write the violation report as a markdown table")
+    val_p.add_argument(
+        "--list-checks", action="store_true",
+        help="list registered invariant checkers, metamorphic relations, "
+             "and sabotage kinds, then exit")
 
     trace_p = sub.add_parser(
         "trace", help="record a workload access trace or a structured event trace")
@@ -582,6 +617,49 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    from repro.validation import CHECKS, METAMORPHIC_RELATIONS, SABOTAGES, run_suite
+
+    if args.list_checks:
+        rows = [
+            [name, fn.scope, "" if fn.tolerance is None else f"{fn.tolerance:g}",
+             fn.description]
+            for name, fn in CHECKS.items()
+        ]
+        rows += [[name, "suite", "", desc] for name, desc, _ in METAMORPHIC_RELATIONS]
+        print(format_table(
+            ["check", "scope", "tolerance", "description"], rows,
+            title="Invariant checkers (see docs/validation.md)",
+        ))
+        print()
+        print("Sabotage kinds:",
+              ", ".join(f"{k} ({desc})" for k, (desc, _) in sorted(SABOTAGES.items())))
+        return 0
+
+    if args.sabotage is not None and args.sabotage not in SABOTAGES:
+        print(f"unknown sabotage {args.sabotage!r}; choose from "
+              f"{sorted(SABOTAGES)}", file=sys.stderr)
+        return 2
+
+    report = run_suite(
+        quick=args.quick,
+        sabotage=args.sabotage,
+        metamorphic=True if args.metamorphic else None,
+        progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+    )
+    if args.json:
+        report.write_json(args.json)
+        print(f"Wrote {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(report.to_markdown())
+        print(f"Wrote {args.markdown}")
+    for violation in report.violations:
+        print(f"  {violation.describe()}")
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
 def _cmd_batch(args) -> int:
     from repro.harness.io import load_batch, save_results_csv, save_results_json
 
@@ -634,6 +712,8 @@ def main(argv=None) -> int:
         return _cmd_bench(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     return 2
 
 

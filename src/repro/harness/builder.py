@@ -95,6 +95,9 @@ class Simulation:
     collector: Optional[Any] = None
     tracer: Optional[Any] = None
     metrics: Optional[Any] = None
+    #: Per-epoch invariant auditor (``config.audit`` non-empty and a
+    #: managed policy); end-of-run audit happens either way.
+    auditor: Optional[Any] = None
     workload: Optional[ClosedLoopWorkload] = None
     #: Wall-clock instant assembly started (for run instrumentation).
     build_started: float = field(default_factory=time.perf_counter)
@@ -138,22 +141,27 @@ class SimulationBuilder:
         return self
 
     def with_power_model(self, model: HmcPowerModel) -> "SimulationBuilder":
+        """Substitute a custom power model (default: ``DEFAULT_POWER_MODEL``)."""
         self._power_model = model
         return self
 
     def with_timing(self, timing: DramTiming) -> "SimulationBuilder":
+        """Substitute custom DRAM timing parameters."""
         self._timing = timing
         return self
 
     def without_faults(self) -> "SimulationBuilder":
+        """Skip the fault-injection stage even if the config requests faults."""
         self._faults = False
         return self
 
     def without_observability(self) -> "SimulationBuilder":
+        """Skip tracing/metrics/audit wiring (bare simulation only)."""
         self._observability = False
         return self
 
     def without_workload(self) -> "SimulationBuilder":
+        """Build the network and policy but attach no traffic generator."""
         self._workload = False
         return self
 
@@ -250,6 +258,12 @@ class SimulationBuilder:
 
             simulation.collector = LinkHourCollector()
             observers.append(simulation.collector)
+
+        if config.audit and self._policy_observes(policy):
+            from repro.validation.audit import EpochAuditor
+
+            simulation.auditor = EpochAuditor(simulation)
+            observers.append(simulation.auditor)
 
         if config.trace_path is not None or config.metrics_path is not None:
             from repro.obs import (

@@ -46,6 +46,7 @@ OBSERVABILITY_FIELDS: Tuple[str, ...] = (
     "trace_format",
     "trace_categories",
     "metrics_path",
+    "audit",
 )
 
 
@@ -87,6 +88,12 @@ class ExperimentConfig:
     trace_format: str = "jsonl"
     trace_categories: str = ""
     metrics_path: Optional[str] = None
+    #: Runtime invariant auditing (excluded from :meth:`cache_key` --
+    #: auditing observes, it never changes what is simulated).  ``""``
+    #: is off; ``"warn"`` prints violations to stderr; ``"strict"``
+    #: raises :class:`repro.validation.AuditViolationError`.  See
+    #: docs/validation.md.
+    audit: str = ""
 
     def __post_init__(self) -> None:
         # Canonicalize names through the registries so "fp", "Fp", and
@@ -116,6 +123,10 @@ class ExperimentConfig:
             )
         # Fail fast on bad category specs even when tracing is off.
         parse_categories(self.trace_categories or None)
+        if self.audit not in ("", "warn", "strict"):
+            raise ValueError(
+                f"audit must be '', 'warn', or 'strict', got {self.audit!r}"
+            )
         if self.fault_spec:
             # Fail fast on bad fault specs too (FaultSpecError is a
             # ValueError, matching the other validation failures here).
@@ -149,6 +160,7 @@ class ExperimentConfig:
             collect_link_hours=False,
             trace_path=None,
             metrics_path=None,
+            audit="",
         )
 
     def cache_key(self) -> str:
@@ -284,7 +296,7 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
         config.window_ns,
         simulation.topology.num_modules,
     )
-    return ExperimentResult(
+    result = ExperimentResult(
         config=config,
         num_modules=simulation.topology.num_modules,
         breakdown=breakdown,
@@ -310,3 +322,10 @@ def run_experiment(config: ExperimentConfig, policy_factory=None) -> ExperimentR
         events_processed=sim.events_processed,
         wall_time_s=time.perf_counter() - simulation.build_started,
     )
+    if config.audit:
+        # Imported lazily: unaudited runs (the common case, and every
+        # hot perf path) never pay for the validation package.
+        from repro.validation.audit import finalize_audit
+
+        finalize_audit(simulation, result=result, mode=config.audit)
+    return result

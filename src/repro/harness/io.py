@@ -60,13 +60,16 @@ RESULT_FIELDS: Sequence[str] = (
 def config_to_dict(config: ExperimentConfig) -> Dict:
     """ExperimentConfig -> plain dict (JSON-safe).
 
-    The empty ``mechanism_overrides`` spec is omitted so serialized
-    homogeneous configs are byte-identical to those written before the
-    field existed (pinned goldens, disk-cache payloads).
+    The empty ``mechanism_overrides`` spec and the empty ``audit`` mode
+    are omitted so serialized plain configs are byte-identical to those
+    written before each field existed (pinned goldens, disk-cache
+    payloads).
     """
     out = asdict(config)
     if not out["mechanism_overrides"]:
         del out["mechanism_overrides"]
+    if not out["audit"]:
+        del out["audit"]
     return out
 
 

@@ -129,6 +129,7 @@ class SweepJournal:
         self.records_written += 1
 
     def close(self) -> None:
+        """Flush and close the journal file handle (idempotent)."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None

@@ -128,8 +128,17 @@ class SweepRunner:
 
     @staticmethod
     def _traced(config: ExperimentConfig) -> bool:
-        """Does this config produce trace/metrics files as a side effect?"""
-        return config.trace_path is not None or config.metrics_path is not None
+        """Must this config actually simulate (not hit a cache)?
+
+        True for configs that produce trace/metrics files as a side
+        effect, and for audited configs -- a cached result cannot be
+        invariant-checked after the fact.
+        """
+        return (
+            config.trace_path is not None
+            or config.metrics_path is not None
+            or bool(config.audit)
+        )
 
     @staticmethod
     def _satisfies(result: ExperimentResult, config: ExperimentConfig) -> bool:

@@ -191,6 +191,7 @@ class LinkController:
         "flits_tx",
         "packets_tx",
         "wakeups",
+        "width_transitions",
         # fault injection (None unless a FaultPlan targets this link)
         "faults",
         "retries",
@@ -297,6 +298,11 @@ class LinkController:
         self.flits_tx = 0
         self.packets_tx = 0
         self.wakeups = 0
+        #: Lifetime count of width/voltage mode changes.  Transitions
+        #: are charged at the higher of the two widths' power while
+        #: residency is attributed to the new width, so this bounds the
+        #: residency-reconstruction slack used by the validation layer.
+        self.width_transitions = 0
 
         #: Optional :class:`LinkFaultState`; installed by
         #: :class:`repro.faults.FaultInjector` when a plan targets this
@@ -834,6 +840,7 @@ class LinkController:
         if state.width_index != self.width_idx:
             self._trans_from = self.width_idx
             self.width_idx = state.width_index
+            self.width_transitions += 1
             if self.mech.width_transition_ns > 0:
                 self._trans_until = now + self.mech.width_transition_ns
                 self.sim.schedule_at(

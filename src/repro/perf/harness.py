@@ -75,14 +75,17 @@ class BenchResult:
 
     @property
     def mean_s(self) -> float:
+        """Arithmetic mean of the measured repeat times, in seconds."""
         return statistics.fmean(self.times_s)
 
     @property
     def median_s(self) -> float:
+        """Median of the measured repeat times, in seconds."""
         return statistics.median(self.times_s)
 
     @property
     def stdev_s(self) -> float:
+        """Sample standard deviation of repeat times (0.0 for one repeat)."""
         return statistics.stdev(self.times_s) if len(self.times_s) > 1 else 0.0
 
     @property

@@ -373,6 +373,33 @@ def _e2e_fig5(quick: bool) -> Callable[[], Tuple[int, str]]:
 
 
 @register(
+    "e2e_fig5_audit",
+    "fig5-shaped managed run with strict invariant auditing on "
+    "(mixB / daisychain / small / VWL+ROO / unaware / --audit)",
+    repeats=3,
+    quick_repeats=2,
+)
+def _e2e_fig5_audit(quick: bool) -> Callable[[], Tuple[int, str]]:
+    # Mirrors e2e_fig5's shape but managed (so the per-epoch auditor
+    # actually runs) and audited: tracks what --audit=strict costs
+    # end-to-end.  The unaudited hot path is gated by e2e_fig5 itself
+    # -- auditing must stay zero-overhead when off.
+    kwargs = dict(
+        workload="mixB",
+        topology="daisychain",
+        scale="small",
+        mechanism="VWL+ROO",
+        policy="unaware",
+        alpha=0.05,
+        window_ns=60_000.0 if quick else 400_000.0,
+        epoch_ns=20_000.0,
+        seed=1,
+        audit="strict",
+    )
+    return lambda: _e2e(kwargs)
+
+
+@register(
     "e2e_fig9",
     "cold fig9 pipeline run (sp.D / star / big / FP)",
     repeats=3,

@@ -1,0 +1,61 @@
+"""Runtime invariant auditing and differential validation.
+
+The paper's headline results are power *breakdowns*, and accounting
+models drift silently as hot paths get rewritten -- this package turns
+the simulator's scattered conservation properties into a first-class,
+registry-driven validation layer:
+
+* :mod:`repro.validation.checks` -- invariant checkers (energy
+  conservation, residency x power, flit/packet conservation, queue
+  balance, per-epoch accounting, differential vs the closed-form
+  model), registered in :data:`~repro.validation.checks.CHECKS`;
+* :mod:`repro.validation.audit` -- the opt-in ``--audit[=strict|warn]``
+  runtime mode (per-epoch auditor + end-of-run finalization);
+* :mod:`repro.validation.metamorphic` -- cross-run relations
+  (monotonicity in alpha and traffic, topology/window scaling laws);
+* :mod:`repro.validation.suite` -- the ``repro-mnet validate`` matrix,
+  sabotage self-tests, and report assembly;
+* :mod:`repro.validation.violations` -- structured violation records
+  and JSON/markdown reports.
+
+See docs/validation.md for every invariant's physical meaning and
+tolerance.
+"""
+
+from repro.validation.audit import (
+    AuditViolationError,
+    EpochAuditor,
+    audit_simulation,
+    finalize_audit,
+)
+from repro.validation.checks import CHECKS, CheckContext, register_check, run_checks
+from repro.validation.metamorphic import METAMORPHIC_RELATIONS
+from repro.validation.suite import (
+    SABOTAGES,
+    full_matrix,
+    quick_matrix,
+    run_suite,
+    validate_config,
+    validate_matrix,
+)
+from repro.validation.violations import ValidationReport, Violation
+
+__all__ = [
+    "CHECKS",
+    "CheckContext",
+    "register_check",
+    "run_checks",
+    "Violation",
+    "ValidationReport",
+    "AuditViolationError",
+    "EpochAuditor",
+    "audit_simulation",
+    "finalize_audit",
+    "METAMORPHIC_RELATIONS",
+    "SABOTAGES",
+    "validate_config",
+    "validate_matrix",
+    "quick_matrix",
+    "full_matrix",
+    "run_suite",
+]

@@ -1,0 +1,652 @@
+"""Registry-driven invariant checkers over a completed (or running)
+simulation.
+
+Every checker inspects a :class:`CheckContext` -- a read-only view of an
+assembled :class:`~repro.harness.builder.Simulation` -- and returns a
+list of :class:`~repro.validation.violations.Violation` objects.
+Checkers are registered in :data:`CHECKS` with a *scope*:
+
+* ``"end"`` -- runs once after the window finishes (links flushed by
+  ``MemoryNetwork.finalize``);
+* ``"epoch"`` -- runs at every epoch boundary via the
+  :class:`~repro.validation.audit.EpochAuditor` observer, *before*
+  counters reset;
+* ``"both"`` -- runs in both scopes.
+
+The invariants themselves are derived from how the simulator charges
+energy (see docs/validation.md for each one's physical meaning and
+tolerance):
+
+* dynamic logic energy is charged per routed flit, dynamic DRAM energy
+  per vault access, leakage per window -- all exactly reconstructable
+  from counters;
+* link I/O energy is charged per power-state segment, so power-state
+  residency times state power must reproduce the ledgers' I/O buckets
+  (up to a bounded width-transition slack -- transitions charge the
+  *higher* of the two widths' power while residency is attributed to
+  the new width);
+* flits and packets are conserved end-to-end, and module 0 sits on
+  every path, so its outstanding-read counter must equal the global
+  in-flight read count;
+* queue occupancy can never exceed the 128-entry link buffers.
+
+CRITICAL: checkers must never mutate simulation state.  In particular
+they must not call ``LinkController.accrue`` -- flushing an open energy
+segment early changes floating-point summation order, and audited runs
+are required to stay bit-identical to unaudited ones.  Open segments
+are accounted read-only via ``now - link._seg_start``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.network.links import BUFFER_ENTRIES
+from repro.registry import Registry
+from repro.validation.violations import Violation
+
+if TYPE_CHECKING:  # import-cycle-free type hints only
+    from repro.harness.builder import Simulation
+    from repro.harness.experiment import ExperimentResult
+
+__all__ = [
+    "CHECKS",
+    "CheckContext",
+    "register_check",
+    "checks_for_scope",
+    "run_checks",
+]
+
+#: Registry of invariant checkers.  Each entry is a callable
+#: ``check(ctx) -> List[Violation]`` carrying ``scope``, ``tolerance``
+#: and ``description`` attributes (set by :func:`register_check`).
+CHECKS: Registry = Registry("check")
+
+#: Relative tolerance for quantities that are *exact* up to
+#: floating-point summation order (energies accumulated over ~1e6
+#: segments: per-op error 1e-16, headroom 1e7).
+REL_EXACT = 1e-9
+
+#: Declared band for the analytical logic-dynamic term, as bounds on
+#: the simulated/predicted *ratio*.  The closed form assumes every
+#: access moves ``6 * avg_depth`` flits through routers, but real
+#: traffic weights depth by access frequency -- and the paper's
+#: contiguous mapping puts hot data near the processor, so the model
+#: systematically *over*-predicts (measured ratios 0.19-0.50 across
+#: the four topologies and workload extremes).  Underprediction, by
+#: contrast, would mean the simulator routed flits the model cannot
+#: explain, so that side of the band is tight.
+LOGIC_DYN_RATIO_BOUNDS = (0.10, 1.05)
+
+#: Relative tolerance for the remaining differential categories, which
+#: the closed form predicts from simulated utilization and access rate
+#: with no modeling gap.
+REL_DIFFERENTIAL = 1e-6
+
+
+def register_check(
+    name: str,
+    *,
+    scope: str = "end",
+    tolerance: Optional[float] = None,
+    description: str = "",
+) -> Callable:
+    """Decorator registering a checker in :data:`CHECKS` with metadata."""
+    if scope not in ("end", "epoch", "both"):
+        raise ValueError(f"bad check scope {scope!r}")
+
+    def deco(fn: Callable) -> Callable:
+        fn.scope = scope  # type: ignore[attr-defined]
+        fn.tolerance = tolerance  # type: ignore[attr-defined]
+        fn.description = description or (fn.__doc__ or "").strip().splitlines()[0]  # type: ignore[attr-defined]
+        CHECKS.add(name, fn)
+        return fn
+
+    return deco
+
+
+class CheckContext:
+    """Read-only view of a simulation handed to every checker.
+
+    ``epoch`` is ``None`` for end-of-run checks and the epoch index for
+    per-epoch audit invocations; ``result`` is the assembled
+    :class:`~repro.harness.experiment.ExperimentResult` when available
+    (end-of-run only).  ``prev_energy`` carries the previous epoch's
+    per-module cumulative energy snapshot for monotonicity checks.
+    """
+
+    def __init__(
+        self,
+        simulation: "Simulation",
+        epoch: Optional[int] = None,
+        result: Optional["ExperimentResult"] = None,
+        prev_energy: Optional[List[float]] = None,
+        label: str = "",
+    ) -> None:
+        self.simulation = simulation
+        self.config = simulation.config
+        self.network = simulation.network
+        self.topology = simulation.topology
+        self.sim = simulation.sim
+        self.now = simulation.sim.now
+        self.window_ns = simulation.config.window_ns
+        self.epoch = epoch
+        self.result = result
+        self.prev_energy = prev_energy
+        self.label = label or self._default_label()
+
+    def _default_label(self) -> str:
+        c = self.config
+        label = f"{c.workload}/{c.topology}/{c.scale}/{c.mechanism}/{c.policy}"
+        if c.mechanism_overrides:
+            label += f"[{c.mechanism_overrides}]"
+        if c.fault_spec:
+            label += f"+faults"
+        return label
+
+    def violation(
+        self,
+        check: str,
+        message: str,
+        quantities: Optional[Dict[str, float]] = None,
+        tolerance: Optional[float] = None,
+        severity: str = "error",
+    ) -> Violation:
+        """Build a violation stamped with this context's time/epoch."""
+        return Violation(
+            check=check,
+            message=message,
+            sim_time_ns=self.now,
+            epoch=self.epoch,
+            config=self.label,
+            quantities=quantities or {},
+            tolerance=tolerance,
+            severity=severity,
+        )
+
+
+def _close(a: float, b: float, rel: float, abs_tol: float = 1e-15) -> bool:
+    """Two-sided closeness with relative + tiny absolute floor."""
+    return abs(a - b) <= max(abs_tol, rel * max(abs(a), abs(b)))
+
+
+# ----------------------------------------------------------------------
+# Energy conservation
+# ----------------------------------------------------------------------
+@register_check(
+    "energy_conservation",
+    scope="end",
+    tolerance=REL_EXACT,
+    description="component energies reconstruct every ledger bucket",
+)
+def check_energy_conservation(ctx: CheckContext) -> List[Violation]:
+    """Per-module ledger buckets equal their counter reconstructions.
+
+    Dynamic logic energy is charged as ``e_flit_j`` per routed flit,
+    dynamic DRAM energy as ``e_access_j`` per vault access, and leakage
+    as ``leak_w * window`` at finalize -- so each non-I/O bucket must
+    equal its closed-form reconstruction to floating-point accuracy,
+    and every bucket must be finite and non-negative.
+    """
+    out: List[Violation] = []
+    model = ctx.network.power_model
+    window_s = ctx.window_ns * 1e-9
+    for module in ctx.network.modules:
+        ledger = module.ledger
+        buckets = {
+            "idle_io_j": ledger.idle_io_j,
+            "active_io_j": ledger.active_io_j,
+            "logic_leak_j": ledger.logic_leak_j,
+            "logic_dyn_j": ledger.logic_dyn_j,
+            "dram_leak_j": ledger.dram_leak_j,
+            "dram_dyn_j": ledger.dram_dyn_j,
+        }
+        for name, value in buckets.items():
+            if not (value >= 0.0) or value != value or value == float("inf"):
+                out.append(ctx.violation(
+                    "energy_conservation",
+                    f"module {module.module_id}: {name} is not a finite "
+                    f"non-negative energy",
+                    {name: value},
+                ))
+        expect_logic = module.flits_routed * module.e_flit_j
+        if not _close(ledger.logic_dyn_j, expect_logic, REL_EXACT):
+            out.append(ctx.violation(
+                "energy_conservation",
+                f"module {module.module_id}: logic_dyn_j != "
+                f"flits_routed * e_flit_j",
+                {
+                    "logic_dyn_j": ledger.logic_dyn_j,
+                    "flits_routed": float(module.flits_routed),
+                    "expected_j": expect_logic,
+                    "diff_j": ledger.logic_dyn_j - expect_logic,
+                },
+                tolerance=REL_EXACT,
+            ))
+        accesses = module.vaults.reads + module.vaults.writes
+        expect_dram = accesses * module.e_access_j
+        if not _close(ledger.dram_dyn_j, expect_dram, REL_EXACT):
+            out.append(ctx.violation(
+                "energy_conservation",
+                f"module {module.module_id}: dram_dyn_j != "
+                f"vault accesses * e_access_j",
+                {
+                    "dram_dyn_j": ledger.dram_dyn_j,
+                    "accesses": float(accesses),
+                    "expected_j": expect_dram,
+                    "diff_j": ledger.dram_dyn_j - expect_dram,
+                },
+                tolerance=REL_EXACT,
+            ))
+        for bucket, leak_w in (
+            ("dram_leak_j", model.dram_leakage_w(module.radix)),
+            ("logic_leak_j", model.logic_leakage_w(module.radix)),
+        ):
+            expect = leak_w * window_s
+            got = buckets[bucket]
+            if not _close(got, expect, REL_EXACT):
+                out.append(ctx.violation(
+                    "energy_conservation",
+                    f"module {module.module_id}: {bucket} != leakage_w * window",
+                    {bucket: got, "expected_j": expect, "diff_j": got - expect},
+                    tolerance=REL_EXACT,
+                ))
+    if ctx.result is not None:
+        from repro.power.accounting import PowerBreakdown
+
+        recomputed = PowerBreakdown.from_ledgers(
+            (m.ledger for m in ctx.network.modules),
+            ctx.window_ns,
+            ctx.topology.num_modules,
+        )
+        for cat, watts in recomputed.watts.items():
+            reported = ctx.result.breakdown.watts[cat]
+            if not _close(reported, watts, REL_EXACT):
+                out.append(ctx.violation(
+                    "energy_conservation",
+                    f"result breakdown {cat} disagrees with ledger recomputation",
+                    {"reported_w": reported, "ledger_w": watts},
+                    tolerance=REL_EXACT,
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Link power-state residency vs accrued I/O energy
+# ----------------------------------------------------------------------
+@register_check(
+    "link_residency_energy",
+    scope="end",
+    tolerance=REL_EXACT,
+    description="power-state residency x state power == accrued I/O energy",
+)
+def check_link_residency_energy(ctx: CheckContext) -> List[Violation]:
+    """Residency-reconstructed I/O energy brackets the I/O ledgers.
+
+    Each link endpoint burns ``endpoint_w * power_fraction`` in every
+    power state, so summing ``2 * endpoint_w * residency * fraction``
+    over states and links must reproduce the total I/O energy the
+    ledgers accrued (this is the network-wide generalization of the
+    per-link trace check in ``tests/test_obs.py``).  The one modeled
+    exception: during a width transition the link is *charged* at the
+    higher of the old/new widths' power while residency is *attributed*
+    to the new width, so reconstruction is a lower bound and the gap is
+    bounded by ``width_transitions * width_transition_ns`` per link at
+    the link's power-fraction spread.
+    """
+    recon = 0.0
+    slack = 0.0
+    actual = 0.0
+    for link in ctx.network.all_links():
+        fracs = link._power_fracs
+        per_state = sum(
+            t * f for t, f in zip(link.mode_time_ns, fracs)
+        ) + link.off_time_ns * link._off_frac
+        recon += 2.0 * link.endpoint_w * per_state * 1e-9
+        spread = max(fracs) - min(fracs)
+        slack += (
+            2.0 * link.endpoint_w * 1e-9
+            * link.width_transitions * link.mech.width_transition_ns * spread
+        )
+    for module in ctx.network.modules:
+        actual += module.ledger.idle_io_j + module.ledger.active_io_j
+    eps = max(1e-15, REL_EXACT * max(abs(recon), abs(actual)))
+    out: List[Violation] = []
+    if not (recon - eps <= actual <= recon + slack + eps):
+        out.append(ctx.violation(
+            "link_residency_energy",
+            "I/O ledgers outside [residency reconstruction, "
+            "reconstruction + transition slack]",
+            {
+                "reconstructed_j": recon,
+                "accrued_j": actual,
+                "transition_slack_j": slack,
+                "diff_j": actual - recon,
+            },
+            tolerance=REL_EXACT,
+        ))
+    return out
+
+
+@register_check(
+    "residency_partition",
+    scope="both",
+    tolerance=REL_EXACT,
+    description="power-state residencies partition each link's lifetime",
+)
+def check_residency_partition(ctx: CheckContext) -> List[Violation]:
+    """Per link: mode residencies + off time (+ the open segment)
+    account for every simulated nanosecond exactly once.
+
+    The open segment since the link's last ``accrue`` is included
+    read-only (``now - _seg_start``); after ``finalize`` it is zero.
+    Also pins ``busy_time_ns <= sum(mode_time_ns)``: a link only
+    transmits while powered on.
+    """
+    out: List[Violation] = []
+    now = ctx.now
+    for link in ctx.network.all_links():
+        attributed = sum(link.mode_time_ns) + link.off_time_ns
+        open_ns = now - link._seg_start
+        total = attributed + open_ns
+        if open_ns < -1e-9 or not _close(total, now, REL_EXACT, abs_tol=1e-6):
+            out.append(ctx.violation(
+                "residency_partition",
+                f"link {link.name}: residencies do not partition the window",
+                {
+                    "attributed_ns": attributed,
+                    "open_segment_ns": open_ns,
+                    "now_ns": now,
+                    "diff_ns": total - now,
+                },
+                tolerance=REL_EXACT,
+            ))
+        on_time = sum(link.mode_time_ns)
+        if link.busy_time_ns > on_time + max(1e-6, REL_EXACT * on_time) + open_ns:
+            out.append(ctx.violation(
+                "residency_partition",
+                f"link {link.name}: busy time exceeds powered-on residency",
+                {"busy_time_ns": link.busy_time_ns, "on_time_ns": on_time},
+                tolerance=REL_EXACT,
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Flit / packet conservation
+# ----------------------------------------------------------------------
+@register_check(
+    "flit_conservation",
+    scope="end",
+    description="packets and flits are conserved end-to-end",
+)
+def check_flit_conservation(ctx: CheckContext) -> List[Violation]:
+    """End-to-end packet conservation through the network.
+
+    Every request path passes module 0, so its outstanding-subtree-read
+    counter must equal injected minus completed reads; reads reach DRAM
+    at most once (``completed <= sum(vault reads) <= injected``); each
+    module's DRAM-read counter matches its vaults'; and per-link flit
+    counts are consistent with packet counts (1..5 flits per packet).
+    """
+    out: List[Violation] = []
+    net = ctx.network
+    in_flight = net.injected_reads - net.completed_reads
+    root_outstanding = net.modules[0].outstanding_subtree_reads
+    if root_outstanding != in_flight:
+        out.append(ctx.violation(
+            "flit_conservation",
+            "module 0 outstanding reads != injected - completed reads",
+            {
+                "outstanding": float(root_outstanding),
+                "injected_reads": float(net.injected_reads),
+                "completed_reads": float(net.completed_reads),
+            },
+        ))
+    vault_reads = sum(m.vaults.reads for m in net.modules)
+    vault_writes = sum(m.vaults.writes for m in net.modules)
+    if not (net.completed_reads <= vault_reads <= net.injected_reads):
+        out.append(ctx.violation(
+            "flit_conservation",
+            "vault read count outside [completed, injected] reads",
+            {
+                "vault_reads": float(vault_reads),
+                "completed_reads": float(net.completed_reads),
+                "injected_reads": float(net.injected_reads),
+            },
+        ))
+    if not (net.completed_writes <= vault_writes <= net.injected_writes):
+        out.append(ctx.violation(
+            "flit_conservation",
+            "vault write count outside [completed, injected] writes",
+            {
+                "vault_writes": float(vault_writes),
+                "completed_writes": float(net.completed_writes),
+                "injected_writes": float(net.injected_writes),
+            },
+        ))
+    for module in net.modules:
+        if module.dram_reads != module.vaults.reads:
+            out.append(ctx.violation(
+                "flit_conservation",
+                f"module {module.module_id}: dram_reads != vault reads",
+                {
+                    "dram_reads": float(module.dram_reads),
+                    "vault_reads": float(module.vaults.reads),
+                },
+            ))
+        if module.outstanding_subtree_reads < 0:
+            out.append(ctx.violation(
+                "flit_conservation",
+                f"module {module.module_id}: negative outstanding reads",
+                {"outstanding": float(module.outstanding_subtree_reads)},
+            ))
+    for link in net.all_links():
+        if not (link.packets_tx <= link.flits_tx <= 5 * link.packets_tx):
+            out.append(ctx.violation(
+                "flit_conservation",
+                f"link {link.name}: flits_tx inconsistent with packets_tx "
+                f"(packets carry 1..5 flits)",
+                {
+                    "flits_tx": float(link.flits_tx),
+                    "packets_tx": float(link.packets_tx),
+                },
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Queue occupancy
+# ----------------------------------------------------------------------
+@register_check(
+    "queue_balance",
+    scope="both",
+    description="link buffer occupancy stays within capacity",
+)
+def check_queue_balance(ctx: CheckContext) -> List[Violation]:
+    """Per link: occupancy (queued + reserved) within the 128-entry
+    buffer and reservations never negative."""
+    out: List[Violation] = []
+    for link in ctx.network.all_links():
+        if link.reserved < 0:
+            out.append(ctx.violation(
+                "queue_balance",
+                f"link {link.name}: negative reservation count",
+                {"reserved": float(link.reserved)},
+            ))
+        occupancy = len(link.read_q) + len(link.write_q) + link.reserved
+        if occupancy > BUFFER_ENTRIES:
+            out.append(ctx.violation(
+                "queue_balance",
+                f"link {link.name}: buffer occupancy exceeds "
+                f"{BUFFER_ENTRIES} entries",
+                {
+                    "occupancy": float(occupancy),
+                    "read_q": float(len(link.read_q)),
+                    "write_q": float(len(link.write_q)),
+                    "reserved": float(link.reserved),
+                },
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Per-epoch accounting (auditor only)
+# ----------------------------------------------------------------------
+@register_check(
+    "epoch_accounting",
+    scope="epoch",
+    tolerance=REL_EXACT,
+    description="epoch counters bounded by the epoch; energy monotone",
+)
+def check_epoch_accounting(ctx: CheckContext) -> List[Violation]:
+    """At each epoch boundary (before counters reset): per-epoch busy
+    and residency counters fit within one epoch, and every module's
+    cumulative energy is monotone non-decreasing across epochs."""
+    out: List[Violation] = []
+    epoch_ns = ctx.config.epoch_ns
+    bound = epoch_ns * (1.0 + REL_EXACT) + 1e-6
+    for link in ctx.network.all_links():
+        open_ns = max(0.0, ctx.now - link._seg_start)
+        if link.ep_busy_ns > bound:
+            out.append(ctx.violation(
+                "epoch_accounting",
+                f"link {link.name}: per-epoch busy time exceeds the epoch",
+                {"ep_busy_ns": link.ep_busy_ns, "epoch_ns": epoch_ns},
+                tolerance=REL_EXACT,
+            ))
+        ep_mode = sum(link.ep_mode_time_ns)
+        if ep_mode > bound:
+            out.append(ctx.violation(
+                "epoch_accounting",
+                f"link {link.name}: per-epoch residency exceeds the epoch",
+                {
+                    "ep_mode_time_ns": ep_mode,
+                    "open_segment_ns": open_ns,
+                    "epoch_ns": epoch_ns,
+                },
+                tolerance=REL_EXACT,
+            ))
+    if ctx.prev_energy is not None:
+        for module, prev in zip(ctx.network.modules, ctx.prev_energy):
+            total = module.ledger.total_j
+            if total < prev - 1e-15:
+                out.append(ctx.violation(
+                    "epoch_accounting",
+                    f"module {module.module_id}: cumulative energy decreased "
+                    f"between epochs",
+                    {"total_j": total, "previous_j": prev},
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Differential check vs the closed-form power model
+# ----------------------------------------------------------------------
+@register_check(
+    "differential_power",
+    scope="end",
+    tolerance=REL_DIFFERENTIAL,
+    description="simulated FP breakdown matches the analytical model",
+)
+def check_differential_power(ctx: CheckContext) -> List[Violation]:
+    """Full-power breakdown vs ``predict_full_power_breakdown``.
+
+    Only meaningful for homogeneous full-power runs (every other
+    mechanism modulates link power by state, which the closed form does
+    not model) -- the check silently passes otherwise.  Feeding the
+    *simulated* utilization and access rate into the analytical model,
+    the I/O split, leakage, and DRAM-dynamic categories must agree to
+    floating-point accuracy; the logic-dynamic category only within
+    the declared :data:`LOGIC_DYN_RATIO_BOUNDS`, because its
+    ``6 * avg_depth`` flits-per-access assumption ignores the
+    read/write mix and the traffic-weighted depth of real access
+    streams.
+    """
+    config = ctx.config
+    if (
+        config.mechanism != "FP"
+        or config.mechanism_overrides
+        or config.policy != "none"
+    ):
+        return []
+    from repro.analysis.power_model import predict_full_power_breakdown
+    from repro.harness.metrics import avg_link_utilization
+    from repro.power.accounting import PowerBreakdown
+
+    net = ctx.network
+    util = avg_link_utilization(net, ctx.window_ns)
+    accesses = sum(m.vaults.reads + m.vaults.writes for m in net.modules)
+    predicted = predict_full_power_breakdown(
+        ctx.topology,
+        avg_link_utilization=util,
+        accesses_per_ns=accesses / ctx.window_ns,
+        model=net.power_model,
+    )
+    simulated = PowerBreakdown.from_ledgers(
+        (m.ledger for m in net.modules), ctx.window_ns, ctx.topology.num_modules
+    ).watts
+    bands = {
+        "idle_io": REL_DIFFERENTIAL,
+        "active_io": REL_DIFFERENTIAL,
+        "logic_leak": REL_DIFFERENTIAL,
+        "dram_leak": REL_DIFFERENTIAL,
+        "dram_dyn": REL_DIFFERENTIAL,
+    }
+    out: List[Violation] = []
+    for cat, band in bands.items():
+        if not _close(simulated[cat], predicted[cat], band, abs_tol=1e-12):
+            out.append(ctx.violation(
+                "differential_power",
+                f"simulated {cat} outside the {band:g} tolerance band of "
+                f"the analytical prediction",
+                {
+                    "simulated_w": simulated[cat],
+                    "predicted_w": predicted[cat],
+                    "diff_w": simulated[cat] - predicted[cat],
+                },
+                tolerance=band,
+            ))
+    lo, hi = LOGIC_DYN_RATIO_BOUNDS
+    if predicted["logic_dyn"] > 0.0:
+        ratio = simulated["logic_dyn"] / predicted["logic_dyn"]
+        if not (lo <= ratio <= hi):
+            out.append(ctx.violation(
+                "differential_power",
+                f"simulated/predicted logic_dyn ratio outside the declared "
+                f"[{lo:g}, {hi:g}] band",
+                {
+                    "simulated_w": simulated["logic_dyn"],
+                    "predicted_w": predicted["logic_dyn"],
+                    "ratio": ratio,
+                },
+                tolerance=hi,
+            ))
+    elif simulated["logic_dyn"] > 1e-12:
+        out.append(ctx.violation(
+            "differential_power",
+            "simulator burned logic-dynamic power on a run the model "
+            "predicts to be traffic-free",
+            {"simulated_w": simulated["logic_dyn"], "predicted_w": 0.0},
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Execution helpers
+# ----------------------------------------------------------------------
+def checks_for_scope(scope: str) -> List[Callable]:
+    """Registered checkers active in ``scope`` (``"end"`` or ``"epoch"``)."""
+    return [
+        fn
+        for _name, fn in CHECKS.items()
+        if fn.scope == scope or fn.scope == "both"
+    ]
+
+
+def run_checks(ctx: CheckContext, scope: str = "end") -> List[Violation]:
+    """Run every checker registered for ``scope`` against ``ctx``."""
+    out: List[Violation] = []
+    for check in checks_for_scope(scope):
+        out.extend(check(ctx))
+    return out

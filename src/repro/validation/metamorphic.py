@@ -1,0 +1,257 @@
+"""Metamorphic relations over whole experiments.
+
+Unlike the checkers in :mod:`repro.validation.checks`, which inspect a
+single simulation's internal accounting, metamorphic relations compare
+*multiple* runs whose results must be ordered or related in a known
+way even though no single run has a known-correct answer:
+
+* **alpha monotonicity** -- a larger degradation budget can only let a
+  management policy save more power (total power non-increasing in
+  alpha) at the cost of no less degradation (non-decreasing in alpha);
+* **traffic monotonicity** -- under full power, traffic-driven power
+  (active I/O + logic dynamic + DRAM dynamic) is non-decreasing in
+  workload channel utilization;
+* **topology scaling** -- at full power every link endpoint always
+  burns its full endpoint wattage, so per-HMC I/O power must equal
+  ``sum(2 * endpoint_w) / num_modules`` exactly on every topology;
+* **window scaling** -- doubling the measurement window leaves per-HMC
+  power approximately unchanged (energy is linear in time).
+
+Each relation runs a handful of short windows via
+:func:`~repro.harness.experiment.run_experiment` and returns
+:class:`~repro.validation.violations.Violation` objects on breach.
+Slack bands are deliberately generous where the simulator is *allowed*
+to wobble (epoch granularity, discrete width menus, warmup) and exact
+where it is not (full-power I/O).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.metrics import performance_degradation
+from repro.validation.violations import Violation
+
+__all__ = [
+    "METAMORPHIC_RELATIONS",
+    "check_alpha_monotonicity",
+    "check_traffic_monotonicity",
+    "check_topology_scaling",
+    "check_window_scaling",
+]
+
+#: Monotonicity slack: discrete width menus and epoch-granular budget
+#: assignment make power/degradation only *approximately* monotone; a
+#: correct simulator stays within these bands on the suite's windows.
+POWER_SLACK_REL = 0.02
+DEGRADATION_SLACK_ABS = 0.02
+#: Traffic-driven power comparisons span workloads with >= 2x channel
+#: utilization gaps, so a small relative slack suffices.
+TRAFFIC_SLACK_REL = 0.05
+#: Window scaling tolerates warmup/tail effects on short windows.
+WINDOW_SLACK_REL = 0.05
+
+
+def _violation(check: str, message: str, config: str, quantities, tolerance=None):
+    return Violation(
+        check=check,
+        message=message,
+        config=config,
+        quantities=quantities,
+        tolerance=tolerance,
+    )
+
+
+def check_alpha_monotonicity(
+    topology: str = "daisychain",
+    workload: str = "mixB",
+    mechanism: str = "VWL+ROO",
+    policy: str = "unaware",
+    alphas: Sequence[float] = (0.01, 0.05, 0.15),
+    window_ns: float = 200_000.0,
+) -> List[Violation]:
+    """Power non-increasing and degradation non-decreasing in alpha.
+
+    Runs the matching full-power baseline once, then the managed config
+    at each budget in ``alphas`` (ascending).  A larger budget gives
+    the policy strictly more freedom, so within the declared slack it
+    must not *increase* power nor *decrease* degradation.
+    """
+    base_cfg = ExperimentConfig(
+        workload=workload, topology=topology, window_ns=window_ns
+    )
+    baseline = run_experiment(base_cfg)
+    label = f"{workload}/{topology}/small/{mechanism}/{policy}"
+    points: List[Tuple[float, float, float]] = []
+    for alpha in sorted(alphas):
+        result = run_experiment(
+            base_cfg.replace(mechanism=mechanism, policy=policy, alpha=alpha)
+        )
+        degradation = performance_degradation(
+            baseline.throughput_per_s, result.throughput_per_s
+        )
+        points.append((alpha, result.power_per_hmc_w, degradation))
+    out: List[Violation] = []
+    for (a0, p0, d0), (a1, p1, d1) in zip(points, points[1:]):
+        if p1 > p0 * (1.0 + POWER_SLACK_REL):
+            out.append(_violation(
+                "metamorphic_alpha",
+                f"power increased when alpha grew {a0:g} -> {a1:g}",
+                label,
+                {"alpha_lo": a0, "power_lo_w": p0, "alpha_hi": a1, "power_hi_w": p1},
+                tolerance=POWER_SLACK_REL,
+            ))
+        if d1 < d0 - DEGRADATION_SLACK_ABS:
+            out.append(_violation(
+                "metamorphic_alpha",
+                f"degradation decreased when alpha grew {a0:g} -> {a1:g}",
+                label,
+                {
+                    "alpha_lo": a0,
+                    "degradation_lo": d0,
+                    "alpha_hi": a1,
+                    "degradation_hi": d1,
+                },
+                tolerance=DEGRADATION_SLACK_ABS,
+            ))
+    return out
+
+
+def check_traffic_monotonicity(
+    topology: str = "daisychain",
+    workloads: Sequence[str] = ("sp.D", "mixD", "mixB"),
+    window_ns: float = 200_000.0,
+) -> List[Violation]:
+    """Traffic-driven power non-decreasing in channel utilization.
+
+    ``workloads`` must be ordered by ascending channel utilization
+    (the defaults span 0.08 -> 0.30 -> 0.75).  Under full power the
+    idle-I/O and leakage floor is constant, so active I/O + logic
+    dynamic + DRAM dynamic must grow with delivered traffic.
+    """
+    out: List[Violation] = []
+    prev_name = ""
+    prev_dyn = -1.0
+    for name in workloads:
+        result = run_experiment(
+            ExperimentConfig(workload=name, topology=topology, window_ns=window_ns)
+        )
+        watts = result.breakdown.watts
+        dyn = watts["active_io"] + watts["logic_dyn"] + watts["dram_dyn"]
+        if prev_dyn >= 0.0 and dyn < prev_dyn * (1.0 - TRAFFIC_SLACK_REL):
+            out.append(_violation(
+                "metamorphic_traffic",
+                f"traffic-driven power fell from {prev_name} to {name} "
+                f"despite higher channel utilization",
+                f"{name}/{topology}/small/FP/none",
+                {"dyn_lo_w": dyn, "dyn_hi_w": prev_dyn},
+                tolerance=TRAFFIC_SLACK_REL,
+            ))
+        prev_name, prev_dyn = name, dyn
+    return out
+
+
+def check_topology_scaling(
+    topologies: Sequence[str] = ("daisychain", "ternary_tree", "star", "ddrx_like"),
+    workload: str = "mixB",
+    window_ns: float = 100_000.0,
+) -> List[Violation]:
+    """Full-power I/O power obeys the endpoint-count scaling law.
+
+    At full power every link endpoint burns ``endpoint_w`` for the
+    whole window regardless of traffic, so per-HMC I/O power is
+    exactly ``sum over links of 2 * endpoint_w / num_modules`` on every
+    topology -- the idle/active split moves with traffic but the total
+    cannot.
+    """
+    from repro.harness.builder import SimulationBuilder
+
+    out: List[Violation] = []
+    for topology in topologies:
+        config = ExperimentConfig(
+            workload=workload, topology=topology, window_ns=window_ns
+        )
+        simulation = SimulationBuilder(config).build()
+        simulation.run()
+        expected = (
+            sum(2.0 * link.endpoint_w for link in simulation.network.all_links())
+            / simulation.topology.num_modules
+        )
+        io_j = sum(
+            m.ledger.idle_io_j + m.ledger.active_io_j
+            for m in simulation.network.modules
+        )
+        io_w = io_j / (window_ns * 1e-9) / simulation.topology.num_modules
+        if abs(io_w - expected) > 1e-9 * max(io_w, expected):
+            out.append(_violation(
+                "metamorphic_topology",
+                "full-power I/O power deviates from the endpoint scaling law",
+                f"{workload}/{topology}/small/FP/none",
+                {"io_w": io_w, "expected_w": expected, "diff_w": io_w - expected},
+                tolerance=1e-9,
+            ))
+    return out
+
+
+def check_window_scaling(
+    topology: str = "daisychain",
+    workload: str = "mixB",
+    window_ns: float = 200_000.0,
+) -> List[Violation]:
+    """Per-HMC power approximately invariant under window doubling.
+
+    Energy must be linear in time: simulating twice the window shifts
+    warmup/tail fractions but cannot change steady-state power by more
+    than the declared slack.
+    """
+    short = run_experiment(
+        ExperimentConfig(workload=workload, topology=topology, window_ns=window_ns)
+    )
+    long = run_experiment(
+        ExperimentConfig(
+            workload=workload, topology=topology, window_ns=2.0 * window_ns
+        )
+    )
+    out: List[Violation] = []
+    if abs(long.power_per_hmc_w - short.power_per_hmc_w) > WINDOW_SLACK_REL * short.power_per_hmc_w:
+        out.append(_violation(
+            "metamorphic_window",
+            f"power changed by more than {WINDOW_SLACK_REL:.0%} when the "
+            f"window doubled",
+            f"{workload}/{topology}/small/FP/none",
+            {
+                "short_window_w": short.power_per_hmc_w,
+                "long_window_w": long.power_per_hmc_w,
+                "window_ns": window_ns,
+            },
+            tolerance=WINDOW_SLACK_REL,
+        ))
+    return out
+
+
+#: Suite-level metamorphic relations: (name, description, callable).
+#: Each callable takes no arguments and returns a violation list; the
+#: defaults are tuned so the whole set stays under ~20 short windows.
+METAMORPHIC_RELATIONS: Tuple[Tuple[str, str, object], ...] = (
+    (
+        "metamorphic_alpha",
+        "degradation monotone (and power anti-monotone) in alpha",
+        check_alpha_monotonicity,
+    ),
+    (
+        "metamorphic_traffic",
+        "traffic-driven power monotone in channel utilization",
+        check_traffic_monotonicity,
+    ),
+    (
+        "metamorphic_topology",
+        "full-power I/O power follows the endpoint scaling law",
+        check_topology_scaling,
+    ),
+    (
+        "metamorphic_window",
+        "per-HMC power invariant under window doubling",
+        check_window_scaling,
+    ),
+)

@@ -1,0 +1,220 @@
+"""The ``repro-mnet validate`` suite: config matrices, sabotage
+self-tests, and the orchestration glue.
+
+:func:`validate_config` runs one experiment with the epoch auditor
+wired and every end-of-run checker applied; :func:`validate_matrix`
+folds a list of configs into one report;
+:func:`quick_matrix`/:func:`full_matrix` enumerate the shipped
+coverage (topologies x mechanisms x overrides x fault specs).
+
+``SABOTAGES`` holds deliberate mis-accounting mutators used to prove
+the checkers can actually fail: ``repro-mnet validate --sabotage KIND``
+corrupts one counter after a clean run and must exit non-zero with a
+structured report naming the broken invariant.  This is the suite's
+own self-test -- a validation layer that cannot detect a seeded error
+is worse than none.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.harness.experiment import ExperimentConfig
+from repro.network.links import BUFFER_ENTRIES
+from repro.validation.audit import audit_simulation
+from repro.validation.metamorphic import METAMORPHIC_RELATIONS
+from repro.validation.violations import ValidationReport
+
+__all__ = [
+    "SABOTAGES",
+    "validate_config",
+    "validate_matrix",
+    "quick_matrix",
+    "full_matrix",
+    "run_suite",
+]
+
+#: The paper's four evaluated topologies (``box`` is an extra).
+VALIDATE_TOPOLOGIES = ("daisychain", "ternary_tree", "star", "ddrx_like")
+
+#: Suite windows: short enough that the quick matrix stays in CI
+#: budget, long enough for several management epochs per run.
+QUICK_WINDOW_NS = 120_000.0
+QUICK_EPOCH_NS = 30_000.0
+FULL_WINDOW_NS = 300_000.0
+
+
+def _sabotage_io_skew(simulation) -> None:
+    """Inflate module 0's idle-I/O ledger by 5% (unbacked energy)."""
+    simulation.network.modules[0].ledger.idle_io_j *= 1.05
+
+
+def _sabotage_flit_drop(simulation) -> None:
+    """Lose 1% of module 0's routed-flit count (energy now unbacked)."""
+    module = simulation.network.modules[0]
+    module.flits_routed = int(module.flits_routed * 0.99)
+
+
+def _sabotage_residency_skew(simulation) -> None:
+    """Add 500 ns of phantom full-width residency to the first link."""
+    link = simulation.network.all_links()[0]
+    link.mode_time_ns[0] += 500.0
+
+
+def _sabotage_read_leak(simulation) -> None:
+    """Leak one outstanding read at the root (never completed)."""
+    simulation.network.modules[0].outstanding_subtree_reads += 1
+
+
+def _sabotage_queue_overflow(simulation) -> None:
+    """Reserve more buffer slots than the link physically has."""
+    simulation.network.all_links()[0].reserved += BUFFER_ENTRIES + 1
+
+
+#: name -> (description, post-run mutator).  Mutators corrupt one
+#: counter *after* a clean run so exactly the targeted invariant (and
+#: any invariant genuinely entangled with it) fires.
+SABOTAGES: Dict[str, Tuple[str, Callable]] = {
+    "io-skew": (
+        "inflate an idle-I/O ledger (breaks residency x power)",
+        _sabotage_io_skew,
+    ),
+    "flit-drop": (
+        "drop routed flits (breaks logic-dynamic energy attribution)",
+        _sabotage_flit_drop,
+    ),
+    "residency-skew": (
+        "add phantom link residency (breaks the time partition)",
+        _sabotage_residency_skew,
+    ),
+    "read-leak": (
+        "leak an outstanding read (breaks flit/packet conservation)",
+        _sabotage_read_leak,
+    ),
+    "queue-overflow": (
+        "overbook a link buffer (breaks queue-occupancy balance)",
+        _sabotage_queue_overflow,
+    ),
+}
+
+
+def validate_config(
+    config: ExperimentConfig, sabotage: Optional[str] = None
+) -> ValidationReport:
+    """Run one config with full auditing and return its report.
+
+    The config is forced to ``audit="strict"`` so the builder wires the
+    epoch auditor (audit never changes what is simulated), but failures
+    are *collected*, not raised -- the caller decides policy.  When
+    ``sabotage`` names a :data:`SABOTAGES` entry, its mutator corrupts
+    the finished simulation before the checkers run.
+    """
+    from repro.harness.builder import SimulationBuilder
+
+    simulation = SimulationBuilder(config.replace(audit="strict")).build()
+    simulation.run()
+    if sabotage is not None:
+        SABOTAGES[sabotage][1](simulation)
+    return audit_simulation(simulation)
+
+
+def validate_matrix(
+    configs: Iterable[ExperimentConfig],
+    sabotage: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ValidationReport:
+    """Validate every config, merging all findings into one report."""
+    report = ValidationReport()
+    for config in configs:
+        one = validate_config(config, sabotage=sabotage)
+        if progress is not None:
+            status = "ok" if one.passed else f"{len(one.errors)} violation(s)"
+            progress(f"{one.configs[0]}: {status}")
+        report.merge(one)
+    return report
+
+
+def quick_matrix() -> List[ExperimentConfig]:
+    """CI-sized coverage: all four topologies, unmanaged + managed.
+
+    Full-power/no-policy runs exercise the differential check against
+    the closed-form model; VWL+ROO under the unaware policy exercises
+    width transitions, ROO sleep/wake, and the per-epoch auditor.
+    """
+    configs: List[ExperimentConfig] = []
+    for topology in VALIDATE_TOPOLOGIES:
+        for mechanism, policy in (("FP", "none"), ("VWL+ROO", "unaware")):
+            configs.append(ExperimentConfig(
+                workload="mixB",
+                topology=topology,
+                mechanism=mechanism,
+                policy=policy,
+                window_ns=QUICK_WINDOW_NS,
+                epoch_ns=QUICK_EPOCH_NS,
+            ))
+    return configs
+
+
+def full_matrix() -> List[ExperimentConfig]:
+    """Extended coverage: more mechanisms, the aware policy,
+    heterogeneous overrides, and fault injection."""
+    configs = quick_matrix()
+    for topology in VALIDATE_TOPOLOGIES:
+        configs.append(ExperimentConfig(
+            workload="mixB",
+            topology=topology,
+            mechanism="DVFS+ROO",
+            policy="aware",
+            window_ns=FULL_WINDOW_NS,
+        ))
+    configs.append(ExperimentConfig(
+        workload="mixA",
+        topology="ternary_tree",
+        mechanism="VWL+ROO",
+        policy="unaware",
+        mechanism_overrides="depth>=2:FP",
+        window_ns=FULL_WINDOW_NS,
+    ))
+    configs.append(ExperimentConfig(
+        workload="mixB",
+        topology="daisychain",
+        mechanism="VWL+ROO",
+        policy="unaware",
+        fault_spec="seed=7,crc=0.2,crc_bursts=2,burst_ns=5000",
+        window_ns=FULL_WINDOW_NS,
+    ))
+    return configs
+
+
+def run_suite(
+    quick: bool = True,
+    sabotage: Optional[str] = None,
+    metamorphic: Optional[bool] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ValidationReport:
+    """Run the shipped validation suite and return the merged report.
+
+    ``quick`` selects :func:`quick_matrix` (the CI configuration) over
+    :func:`full_matrix`; metamorphic relations default to running only
+    in full mode (override with ``metamorphic=``).  ``sabotage``
+    applies one named corruption to *every* matrix run -- used by the
+    self-test path, where a passing report is a failure.
+    """
+    report = validate_matrix(
+        quick_matrix() if quick else full_matrix(),
+        sabotage=sabotage,
+        progress=progress,
+    )
+    if metamorphic is None:
+        metamorphic = not quick
+    if metamorphic:
+        for name, _desc, relation in METAMORPHIC_RELATIONS:
+            if progress is not None:
+                progress(f"{name}: running")
+            found = relation()
+            report.checks_run += 1
+            report.extend(found)
+            if progress is not None:
+                status = "ok" if not found else f"{len(found)} violation(s)"
+                progress(f"{name}: {status}")
+    return report

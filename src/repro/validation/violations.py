@@ -1,0 +1,188 @@
+"""Violation records and the structured validation report.
+
+Every invariant checker in :mod:`repro.validation.checks` reports
+problems as :class:`Violation` objects rather than raising: a violation
+carries the simulated time, the epoch index (when detected by the
+per-epoch auditor), and the offending quantities, so a failed check
+doubles as a debugging breadcrumb -- the trace of *what* disagreed,
+*by how much*, and *when*.
+
+:class:`ValidationReport` aggregates violations across checks and
+configs and renders them as JSON (machine-readable, for CI artifacts)
+or markdown (human-readable, for issue reports).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["Violation", "ValidationReport"]
+
+#: Report schema identifier, bumped on layout changes so downstream
+#: tooling never misparses an old report.
+REPORT_SCHEMA = "repro-mnet-validate/v1"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough context to debug it.
+
+    Attributes
+    ----------
+    check:
+        Registered name of the checker that fired (see
+        :data:`repro.validation.checks.CHECKS`).
+    message:
+        Human-readable statement of what disagreed.
+    sim_time_ns:
+        Simulated time at which the check ran (window end for
+        end-of-run checks, the epoch boundary for per-epoch checks).
+    epoch:
+        Epoch index for violations found by the runtime auditor;
+        ``None`` for end-of-run and matrix-level checks.
+    config:
+        Short label of the experiment config being validated (empty
+        for standalone simulations).
+    quantities:
+        The offending numbers, keyed by name -- e.g. the two sides of
+        a failed equality and their difference.
+    tolerance:
+        The declared tolerance the discrepancy exceeded (absolute or
+        relative depending on the check; documented per-check in
+        docs/validation.md).  ``None`` for structural checks with no
+        numeric band.
+    severity:
+        ``"error"`` (default) or ``"warning"`` for advisory findings.
+    """
+
+    check: str
+    message: str
+    sim_time_ns: float = 0.0
+    epoch: Optional[int] = None
+    config: str = ""
+    quantities: Dict[str, float] = field(default_factory=dict)
+    tolerance: Optional[float] = None
+    severity: str = "error"
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dict form (quantities copied)."""
+        return {
+            "check": self.check,
+            "message": self.message,
+            "sim_time_ns": self.sim_time_ns,
+            "epoch": self.epoch,
+            "config": self.config,
+            "quantities": dict(self.quantities),
+            "tolerance": self.tolerance,
+            "severity": self.severity,
+        }
+
+    def describe(self) -> str:
+        """One-line rendering used by CLI and warning output."""
+        where = f"t={self.sim_time_ns:g}ns"
+        if self.epoch is not None:
+            where += f" epoch={self.epoch}"
+        prefix = f"[{self.check}] " + (f"({self.config}) " if self.config else "")
+        qty = ""
+        if self.quantities:
+            qty = " {" + ", ".join(
+                f"{k}={v:g}" for k, v in self.quantities.items()
+            ) + "}"
+        return f"{prefix}{self.message} ({where}){qty}"
+
+
+class ValidationReport:
+    """Aggregated outcome of a validation run.
+
+    Collects violations across checks and configs plus bookkeeping on
+    what actually ran, so "no violations" is distinguishable from "no
+    checks executed".
+    """
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        #: Total individual check invocations (per config, per scope).
+        self.checks_run: int = 0
+        #: Labels of every config the suite covered, in run order.
+        self.configs: List[str] = []
+
+    # ------------------------------------------------------------------
+    def add(self, violation: Violation) -> None:
+        """Record one violation."""
+        self.violations.append(violation)
+
+    def extend(self, violations: Iterable[Violation]) -> None:
+        """Record many violations."""
+        self.violations.extend(violations)
+
+    def merge(self, other: "ValidationReport") -> None:
+        """Fold another report's violations and bookkeeping into this one."""
+        self.violations.extend(other.violations)
+        self.checks_run += other.checks_run
+        self.configs.extend(c for c in other.configs if c not in self.configs)
+
+    @property
+    def passed(self) -> bool:
+        """True when no error-severity violation was recorded."""
+        return not any(v.severity == "error" for v in self.violations)
+
+    @property
+    def errors(self) -> List[Violation]:
+        """Error-severity violations only."""
+        return [v for v in self.violations if v.severity == "error"]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict:
+        """Schema-versioned JSON-safe dict of the full report."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "passed": self.passed,
+            "checks_run": self.checks_run,
+            "configs": list(self.configs),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write the JSON report to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_json_dict(), fh, indent=2)
+            fh.write("\n")
+
+    def to_markdown(self) -> str:
+        """Markdown rendering: a summary line plus one table row per
+        violation (empty table omitted)."""
+        lines = [
+            "# repro-mnet validation report",
+            "",
+            f"* result: **{'PASS' if self.passed else 'FAIL'}**",
+            f"* checks run: {self.checks_run}",
+            f"* configs: {len(self.configs)}",
+            f"* violations: {len(self.violations)}",
+        ]
+        if self.violations:
+            lines += [
+                "",
+                "| check | config | epoch | sim time (ns) | message | quantities |",
+                "|---|---|---|---|---|---|",
+            ]
+            for v in self.violations:
+                qty = "; ".join(f"{k}={val:g}" for k, val in v.quantities.items())
+                epoch = "" if v.epoch is None else str(v.epoch)
+                lines.append(
+                    f"| {v.check} | {v.config} | {epoch} | {v.sim_time_ns:g} "
+                    f"| {v.message} | {qty} |"
+                )
+        lines.append("")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line human summary for CLI/stderr output."""
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"validate: {status} -- {self.checks_run} checks over "
+            f"{len(self.configs)} configs, {len(self.violations)} violations"
+        )

@@ -1,0 +1,96 @@
+"""Public-API docstring coverage.
+
+Every name exported through ``repro/__init__.py`` or a subpackage
+``__all__`` is part of the supported surface, so it must carry a
+docstring — as must the public methods and properties of every exported
+class. CI runs this file with the rest of the unit suite, so an
+undocumented export fails the build.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+#: The documented import surface: every package/module that declares an
+#: ``__all__`` meant for users (subpackage ``__init__``s plus the
+#: top-level helper modules).
+PUBLIC_MODULES = (
+    "repro",
+    "repro.analysis",
+    "repro.core",
+    "repro.dram",
+    "repro.faults",
+    "repro.harness",
+    "repro.network",
+    "repro.obs",
+    "repro.perf",
+    "repro.power",
+    "repro.sim",
+    "repro.validation",
+    "repro.workloads",
+    "repro.registry",
+    "repro.units",
+    "repro.cli",
+)
+
+
+def _public_members(cls: type):
+    """Public methods/properties defined directly on ``cls`` (no dunders,
+    no inherited members, no dataclass-generated fields)."""
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        fn = member
+        if isinstance(fn, property):
+            fn = fn.fget
+        if isinstance(fn, (classmethod, staticmethod)):
+            fn = fn.__func__
+        if inspect.isfunction(fn):
+            yield name, fn
+
+
+@pytest.mark.parametrize("modname", PUBLIC_MODULES)
+def test_module_has_docstring_and_all(modname):
+    mod = importlib.import_module(modname)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{modname} has no docstring"
+    assert getattr(mod, "__all__", None), f"{modname} declares no __all__"
+
+
+@pytest.mark.parametrize("modname", PUBLIC_MODULES)
+def test_exports_resolve_and_are_documented(modname):
+    mod = importlib.import_module(modname)
+    missing = []
+    for name in mod.__all__:
+        if name == "__version__":
+            continue
+        assert hasattr(mod, name), f"{modname}.__all__ lists unresolvable {name!r}"
+        obj = getattr(mod, name)
+        # Constants and pre-built instances (WORKLOAD_NAMES,
+        # DEFAULT_POWER_MODEL, ...) carry their documentation on the
+        # defining class or module instead.
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if not getattr(obj, "__module__", "").startswith("repro"):
+            continue
+        if not inspect.getdoc(obj):
+            missing.append(f"{modname}.{name}")
+    assert not missing, f"exported names without docstrings: {missing}"
+
+
+@pytest.mark.parametrize("modname", PUBLIC_MODULES)
+def test_exported_class_members_are_documented(modname):
+    mod = importlib.import_module(modname)
+    missing = []
+    for name in mod.__all__:
+        obj = getattr(mod, name, None)
+        if not inspect.isclass(obj):
+            continue
+        if not getattr(obj, "__module__", "").startswith("repro"):
+            continue
+        for mname, fn in _public_members(obj):
+            if not inspect.getdoc(fn):
+                missing.append(f"{modname}.{name}.{mname}")
+    assert not missing, f"public members without docstrings: {missing}"

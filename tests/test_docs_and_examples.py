@@ -26,7 +26,7 @@ class TestDeliverables:
         for name in (
             "architecture.md", "algorithms.md", "reproducing.md",
             "api.md", "workloads.md", "observability.md", "figures.md",
-            "resilience.md",
+            "resilience.md", "validation.md",
         ):
             assert (REPO / "docs" / name).is_file(), name
 
@@ -90,6 +90,30 @@ class TestObservabilityDocExecutes:
             except Exception as exc:  # pragma: no cover - diagnostic
                 pytest.fail(
                     f"docs/observability.md block {i} failed: {exc!r}\n{block}"
+                )
+
+
+class TestValidationDocExecutes:
+    """docs/validation.md is executable documentation.
+
+    The worked example (audit a run, enumerate the checker registry,
+    catch a sabotage, serialize the report) runs top-to-bottom in one
+    shared namespace, so the documented invariants and report schema
+    can never drift from what the validation layer implements.
+    """
+
+    def test_every_code_block_runs(self, tmp_path, monkeypatch):
+        blocks = python_blocks(REPO / "docs" / "validation.md")
+        assert len(blocks) >= 4, "validation.md lost its worked example"
+        monkeypatch.chdir(tmp_path)
+        namespace = {}
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"validation.md[block {i}]", "exec"),
+                     namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(
+                    f"docs/validation.md block {i} failed: {exc!r}\n{block}"
                 )
 
 

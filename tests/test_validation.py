@@ -1,0 +1,293 @@
+"""Tests for the runtime invariant-audit and validation subsystem.
+
+Covers the checker registry, the sabotage self-tests (a seeded
+mis-accounting must be caught by exactly the targeted invariant),
+tolerance-band edges, the ``--audit`` wiring (bit-identity, cache-key
+neutrality, strict/warn policy), the ``repro-mnet validate`` CLI, and
+the doc/CLI drift guard in ``scripts/check_docs_links.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.builder import SimulationBuilder
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.io import config_to_dict
+from repro.validation import (
+    CHECKS,
+    AuditViolationError,
+    SABOTAGES,
+    ValidationReport,
+    Violation,
+    validate_config,
+)
+from repro.validation.audit import audit_simulation, finalize_audit
+from repro.validation.checks import checks_for_scope
+
+#: Short but multi-epoch config used throughout; managed, so the
+#: epoch auditor actually wires and fires.
+MANAGED = ExperimentConfig(
+    workload="mixB",
+    topology="daisychain",
+    mechanism="VWL+ROO",
+    policy="unaware",
+    window_ns=60_000.0,
+    epoch_ns=15_000.0,
+)
+
+#: Unmanaged full-power config: exercises the differential checker.
+UNMANAGED = ExperimentConfig(
+    workload="mixB",
+    topology="ternary_tree",
+    mechanism="FP",
+    policy="none",
+    window_ns=60_000.0,
+)
+
+
+def _run_audited(config):
+    simulation = SimulationBuilder(config.replace(audit="strict")).build()
+    simulation.run()
+    return simulation
+
+
+class TestRegistry:
+    def test_all_checks_have_metadata(self):
+        assert len(CHECKS) >= 6
+        for name in CHECKS.names():
+            fn = CHECKS.get(name)
+            assert fn.scope in ("end", "epoch", "both"), name
+            assert fn.description, name
+
+    def test_scope_partition(self):
+        end = set(checks_for_scope("end"))
+        epoch = set(checks_for_scope("epoch"))
+        # "both"-scoped checkers appear in each list; every checker
+        # appears in at least one.
+        assert end | epoch == {CHECKS.get(n) for n in CHECKS.names()}
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("config", [MANAGED, UNMANAGED], ids=["managed", "fp"])
+    def test_zero_violations(self, config):
+        report = validate_config(config)
+        assert report.passed, [v.describe() for v in report.violations]
+        assert report.checks_run > 0
+        assert len(report.configs) == 1
+
+    def test_epoch_auditor_wired_and_fired(self):
+        simulation = _run_audited(MANAGED)
+        assert simulation.auditor is not None
+        assert simulation.auditor.epoch >= 3  # 60 us window / 15 us epochs
+        assert simulation.auditor.checks_run > 0
+        assert not simulation.auditor.violations
+
+    def test_unmanaged_runs_have_no_epoch_auditor(self):
+        simulation = _run_audited(UNMANAGED)
+        assert simulation.auditor is None
+
+    def test_run_experiment_strict_passes_clean(self):
+        result = run_experiment(MANAGED.replace(audit="strict"))
+        assert result.power_per_hmc_w > 0
+
+
+#: sabotage kind -> checker(s) that must fire on it.
+SABOTAGE_EXPECTED = {
+    "io-skew": {"link_residency_energy", "differential_power", "energy_conservation"},
+    "flit-drop": {"energy_conservation"},
+    "residency-skew": {"link_residency_energy", "residency_partition"},
+    "read-leak": {"flit_conservation"},
+    "queue-overflow": {"queue_balance"},
+}
+
+
+class TestSabotage:
+    def test_every_sabotage_kind_is_covered(self):
+        assert set(SABOTAGE_EXPECTED) == set(SABOTAGES)
+
+    @pytest.mark.parametrize("kind", sorted(SABOTAGES))
+    def test_sabotage_is_detected_by_targeted_check(self, kind):
+        report = validate_config(MANAGED, sabotage=kind)
+        assert not report.passed, f"sabotage {kind} went undetected"
+        fired = {v.check for v in report.errors}
+        assert fired & SABOTAGE_EXPECTED[kind], (
+            f"{kind} fired {fired}, expected overlap with "
+            f"{SABOTAGE_EXPECTED[kind]}"
+        )
+
+    def test_violations_carry_structured_evidence(self):
+        report = validate_config(MANAGED, sabotage="io-skew")
+        violation = report.errors[0]
+        assert violation.sim_time_ns > 0
+        assert violation.quantities, "violation lacks offending quantities"
+        assert violation.tolerance is not None
+        d = violation.to_dict()
+        assert {"check", "message", "sim_time_ns", "quantities"} <= set(d)
+
+
+class TestToleranceEdges:
+    """Perturbations inside the declared band must NOT fire; the same
+    perturbation scaled past the band must."""
+
+    def test_sub_tolerance_ledger_skew_passes(self):
+        simulation = _run_audited(MANAGED)
+        # logic_dyn_j == flits_routed * e_flit_j is exact (REL_EXACT =
+        # 1e-9), so a 1e-12 relative skew sits inside the band ...
+        simulation.network.modules[0].ledger.logic_dyn_j *= 1.0 + 1e-12
+        report = audit_simulation(simulation)
+        assert report.passed, [v.describe() for v in report.violations]
+
+    def test_past_tolerance_ledger_skew_fails(self):
+        simulation = _run_audited(MANAGED)
+        # ... while the same skew at 1e-6 must fire.
+        simulation.network.modules[0].ledger.logic_dyn_j *= 1.0 + 1e-6
+        report = audit_simulation(simulation)
+        assert not report.passed
+        assert {v.check for v in report.errors} == {"energy_conservation"}
+
+    def test_sub_tolerance_residency_skew_passes(self):
+        simulation = _run_audited(MANAGED)
+        link = simulation.network.all_links()[0]
+        link.mode_time_ns[0] += 1e-9  # 1e-9 ns on a 60 us window
+        report = audit_simulation(simulation)
+        assert report.passed, [v.describe() for v in report.violations]
+
+
+class TestAuditPolicy:
+    def test_strict_raises_with_report(self):
+        simulation = _run_audited(MANAGED)
+        SABOTAGES["io-skew"][1](simulation)
+        with pytest.raises(AuditViolationError) as excinfo:
+            finalize_audit(simulation, mode="strict")
+        assert isinstance(excinfo.value.report, ValidationReport)
+        assert excinfo.value.report.errors
+        assert "violation" in str(excinfo.value)
+
+    def test_warn_prints_but_returns(self, capsys):
+        simulation = _run_audited(MANAGED)
+        SABOTAGES["io-skew"][1](simulation)
+        report = finalize_audit(simulation, mode="warn")
+        assert not report.passed
+        err = capsys.readouterr().err
+        assert "audit:" in err
+
+    def test_bad_mode_rejected(self):
+        simulation = _run_audited(MANAGED)
+        with pytest.raises(ValueError):
+            finalize_audit(simulation, mode="loud")
+        with pytest.raises(ValueError):
+            MANAGED.replace(audit="loud")
+
+
+class TestAuditNeutrality:
+    """Audit is observability: it must never change what is simulated,
+    what is cached, or what golden files contain."""
+
+    def test_bit_identical_results(self):
+        plain = run_experiment(MANAGED)
+        audited = run_experiment(MANAGED.replace(audit="strict"))
+        assert plain.breakdown.watts == audited.breakdown.watts
+        assert plain.power_per_hmc_w == audited.power_per_hmc_w
+        assert plain.throughput_per_s == audited.throughput_per_s
+
+    def test_cache_key_ignores_audit(self):
+        assert MANAGED.cache_key() == MANAGED.replace(audit="strict").cache_key()
+
+    def test_config_dict_omits_empty_audit(self):
+        assert "audit" not in config_to_dict(MANAGED)
+        assert config_to_dict(MANAGED.replace(audit="warn"))["audit"] == "warn"
+
+
+class TestReport:
+    def _sabotaged_report(self):
+        return validate_config(MANAGED, sabotage="residency-skew")
+
+    def test_json_roundtrip(self, tmp_path):
+        report = self._sabotaged_report()
+        out = tmp_path / "report.json"
+        report.write_json(out)
+        data = json.loads(out.read_text())
+        assert data["schema"] == "repro-mnet-validate/v1"
+        assert data["passed"] is False
+        assert data["violations"], "violations missing from JSON report"
+        assert data["checks_run"] == report.checks_run
+
+    def test_markdown_has_violation_table(self):
+        md = self._sabotaged_report().to_markdown()
+        assert "| check |" in md or "| Check |" in md
+        assert "residency" in md
+
+    def test_merge_accumulates(self):
+        a, b = ValidationReport(), ValidationReport()
+        a.add(Violation(check="x", message="m"))
+        a.checks_run = 3
+        b.checks_run = 4
+        b.merge(a)
+        assert b.checks_run == 7
+        assert len(b.violations) == 1
+
+
+class TestValidateCli:
+    def test_parser_accepts_validate(self):
+        args = build_parser().parse_args(["validate", "--quick"])
+        assert args.command == "validate"
+        assert args.quick
+
+    def test_list_checks_exits_zero(self, capsys):
+        assert main(["validate", "--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for name in CHECKS.names():
+            assert name in out
+        for kind in SABOTAGES:
+            assert kind in out
+
+    def test_unknown_sabotage_exits_two(self, capsys):
+        assert main(["validate", "--sabotage", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_run_audit_flag_modes(self):
+        parser = build_parser()
+        assert parser.parse_args(["run"]).audit == ""
+        assert parser.parse_args(["run", "--audit"]).audit == "strict"
+        assert parser.parse_args(["run", "--audit", "warn"]).audit == "warn"
+
+
+class TestCliDriftGuard:
+    """Unit tests for the doc/CLI drift half of check_docs_links."""
+
+    def _drift(self, tmp_path, text):
+        from scripts.check_docs_links import cli_drift
+
+        (tmp_path / "doc.md").write_text(text)
+        return cli_drift(tmp_path)
+
+    def test_valid_invocation_is_clean(self, tmp_path):
+        assert self._drift(
+            tmp_path, "```\nrepro-mnet validate --quick --json out.json\n```\n"
+        ) == []
+
+    def test_unknown_flag_reported(self, tmp_path):
+        problems = self._drift(tmp_path, "Run `repro-mnet run --no-such-flag`.\n")
+        assert len(problems) == 1
+        assert "--no-such-flag" in problems[0][1]
+
+    def test_unknown_subcommand_reported(self, tmp_path):
+        problems = self._drift(tmp_path, "Use `repro-mnet frobnicate --quick`.\n")
+        assert len(problems) == 1
+        assert "frobnicate" in problems[0][1]
+
+    def test_prose_mention_is_ignored(self, tmp_path):
+        assert self._drift(
+            tmp_path,
+            "The `repro-mnet` simulator models HMC networks.\n"
+            "Results live in ~/.cache/repro-mnet by default.\n",
+        ) == []
+
+    def test_multiline_continuation_scans_as_one_command(self, tmp_path):
+        assert self._drift(
+            tmp_path,
+            "```\nrepro-mnet run --workload mixB \\\n"
+            "  --audit strict --no-cache\n```\n",
+        ) == []
