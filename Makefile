@@ -10,10 +10,15 @@ LINT_PATHS = src/repro/sim src/repro/network src/repro/perf
 # mypy-checked too.
 MYPY_PATHS = src/repro/sim src/repro/network src/repro/core src/repro/harness src/repro/perf
 
-.PHONY: test lint bench bench-quick bench-gate baseline
+.PHONY: test lint bench bench-quick bench-gate baseline serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The CI serve job: end-to-end smoke of `repro-mnet serve` (dedup,
+# tiering, backpressure, SIGTERM drain); see docs/serving.md.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 lint:
 	ruff check $(LINT_PATHS)

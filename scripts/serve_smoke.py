@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of ``repro-mnet serve`` (the CI ``serve`` job).
+
+Starts a real server subprocess and proves the serving contract from
+the outside:
+
+1. N identical concurrent requests trigger exactly ONE simulation
+   (``/stats`` shows ``simulated == 1`` and ``dedup_coalesced == N-1``);
+2. a repeat request is answered by the memory tier;
+3. the server's ``summary`` response is byte-identical to
+   ``repro-mnet run`` stdout for the same config (both read the shared
+   disk cache, so even the wall-time row matches);
+4. overload against a bounded queue yields HTTP 429 with a
+   ``Retry-After`` header while admitted requests still complete;
+5. SIGTERM drains gracefully: the in-flight request completes with 200,
+   new requests are refused with 503, the journal holds the completed
+   work, and the process exits 0.
+
+Run from the repository root::
+
+    python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: The shared test config, expressible identically through CLI flags.
+CONFIG = {"workload": "mixB", "window_ns": 60_000.0, "epoch_ns": 15_000.0}
+RUN_FLAGS = ["--workload", "mixB", "--window-us", "60", "--epoch-us", "15"]
+
+FAILURES = []
+
+
+def check(ok: bool, label: str, detail: str = "") -> None:
+    """Record one assertion; failures are fatal at exit, not mid-run."""
+    status = "ok" if ok else "FAIL"
+    print(f"[serve-smoke] {status}: {label}" + (f" ({detail})" if detail else ""))
+    if not ok:
+        FAILURES.append(label)
+
+
+def request(base: str, path: str, body=None, timeout: float = 120.0):
+    """(status, headers, parsed JSON body) for one HTTP round trip."""
+    req = urllib.request.Request(
+        base + path,
+        data=None if body is None else json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+def main() -> int:
+    """Run the smoke sequence; returns a process exit code."""
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    cache_dir = workdir / "cache"
+    journal = workdir / "journal.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    cli = [sys.executable, "-m", "repro.cli"]
+
+    server = subprocess.Popen(
+        cli + [
+            "serve", "--port", "0", "--cache-dir", str(cache_dir),
+            "--queue-limit", "2", "--batch-window-ms", "20",
+            "--journal", str(journal),
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env, cwd=REPO,
+    )
+    try:
+        line = server.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        if not match:
+            print(f"server did not announce its address: {line!r}")
+            return 1
+        base = f"http://{match.group(1)}:{match.group(2)}"
+        print(f"[serve-smoke] server at {base}")
+
+        status, _, body = request(base, "/healthz")
+        check(status == 200 and body["status"] == "ok", "healthz is 200/ok")
+
+        # 1. Single-flight dedup: N identical concurrent requests.
+        n = 8
+        outcomes = [None] * n
+
+        def fire(i: int) -> None:
+            outcomes[i] = request(base, "/v1/run", {"config": CONFIG})
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        statuses = [o[0] for o in outcomes]
+        check(statuses == [200] * n, "identical concurrent requests all 200",
+              str(statuses))
+        _, _, stats = request(base, "/stats")
+        check(stats["tiers"]["simulated"] == 1,
+              "exactly one simulation ran",
+              f"simulated={stats['tiers']['simulated']}")
+        check(stats["dedup_coalesced"] == n - 1,
+              f"{n - 1} requests coalesced onto the flight",
+              f"coalesced={stats['dedup_coalesced']}")
+
+        # 2. Repeat request hits the memory tier.
+        status, _, body = request(base, "/v1/run", {"config": CONFIG})
+        check(status == 200 and body["tier"] == "memory",
+              "repeat request served by the memory tier",
+              f"tier={body.get('tier')}")
+        summary = body["summary"]
+
+        # 3. Byte-identical to `repro-mnet run` (shared disk cache).
+        run = subprocess.run(
+            cli + ["run", *RUN_FLAGS, "--cache-dir", str(cache_dir)],
+            capture_output=True, text=True, env=env, cwd=REPO,
+        )
+        check(run.returncode == 0, "repro-mnet run exits 0", run.stderr.strip())
+        check("# 0 simulated" in run.stderr,
+              "CLI run was served from the shared disk cache",
+              run.stderr.strip())
+        check(run.stdout == summary + "\n",
+              "server summary is byte-identical to repro-mnet run stdout")
+
+        # 4. Backpressure: 10 distinct configs against queue_limit=2.
+        m = 10
+        overload = [None] * m
+
+        def overload_fire(i: int) -> None:
+            cfg = dict(CONFIG, seed=100 + i, window_ns=200_000.0)
+            overload[i] = request(base, "/v1/run", {"config": cfg})
+
+        threads = [
+            threading.Thread(target=overload_fire, args=(i,)) for i in range(m)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        codes = sorted(o[0] for o in overload)
+        rejected = [o for o in overload if o[0] == 429]
+        served = [o for o in overload if o[0] == 200]
+        check(bool(rejected), "overload produced 429 rejections", str(codes))
+        check(bool(served), "admitted overload requests completed", str(codes))
+        check(all("Retry-After" in o[1] for o in rejected),
+              "429 responses carry Retry-After")
+        _, _, stats = request(base, "/stats")
+        check(stats["rejected_queue_full"] == len(rejected),
+              "/stats rejection counter matches observed 429s",
+              f"stats={stats['rejected_queue_full']} observed={len(rejected)}")
+
+        # 5. Graceful drain: SIGTERM with one request in flight.
+        inflight = {}
+
+        def slow_fire() -> None:
+            cfg = dict(CONFIG, seed=999, window_ns=300_000.0)
+            inflight["outcome"] = request(base, "/v1/run", {"config": cfg})
+
+        slow = threading.Thread(target=slow_fire)
+        slow.start()
+        time.sleep(0.5)  # let it be admitted and dispatched
+        server.send_signal(signal.SIGTERM)
+        # New work during the drain must be refused with 503 (the
+        # listener may already be gone if the drain won the race).
+        try:
+            status, _, _ = request(base, "/v1/run", {"config": dict(CONFIG, seed=7)},
+                                   timeout=5.0)
+            check(status == 503, "request during drain refused with 503",
+                  f"status={status}")
+        except (urllib.error.URLError, ConnectionError, OSError):
+            print("[serve-smoke] ok: drain finished before the probe connected")
+        slow.join(timeout=120)
+        check(not slow.is_alive(), "in-flight request resolved during drain")
+        outcome = inflight.get("outcome")
+        check(outcome is not None and outcome[0] == 200,
+              "in-flight request completed with 200 during drain",
+              f"outcome={outcome and outcome[0]}")
+        try:
+            exit_code = server.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            exit_code = None
+        check(exit_code == 0, "server exited 0 after SIGTERM",
+              f"exit={exit_code}")
+        done_lines = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+            if line.strip()
+        ]
+        check(any(rec["kind"] == "done" for rec in done_lines),
+              "journal holds completed work after drain",
+              f"{len(done_lines)} records")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+        out, err = server.communicate()
+        if FAILURES:
+            print("---- server stdout ----\n" + out)
+            print("---- server stderr ----\n" + err)
+
+    if FAILURES:
+        print(f"[serve-smoke] {len(FAILURES)} check(s) FAILED: {FAILURES}")
+        return 1
+    print("[serve-smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Subcommands::
     repro-mnet trace out.jsonl --kind events   # event trace + printed summary
     repro-mnet bench --out BENCH.json    # performance microbenchmarks
     repro-mnet validate --quick          # invariant-validation suite
+    repro-mnet serve --port 8642         # long-running experiment service
 
 The ``figure`` subcommand accepts: fig4, fig5, fig6, fig8, fig9, fig11,
 fig12, fig13, fig15, fig16, fig17, fig18, sec7, and hetero-depth (a
@@ -26,6 +27,10 @@ and retry crashed/hung workers (see docs/resilience.md).
 ``sweep-alpha`` and ``batch`` additionally accept ``--journal PATH`` to
 checkpoint every outcome as it lands, and ``--resume`` to replay a
 previous journal instead of re-simulating completed work.
+
+``serve`` starts the long-running experiment service (HTTP+JSON on
+localhost, tiered caching, single-flight dedup, bounded-queue
+backpressure, graceful SIGTERM drain); see docs/serving.md.
 """
 
 from __future__ import annotations
@@ -39,7 +44,7 @@ from repro.harness.executor import FailedResult, make_executor
 from repro.harness.experiment import ExperimentConfig, POLICY_NAMES
 from repro.harness import figures as F
 from repro.harness.journal import SweepJournal
-from repro.harness.report import format_table
+from repro.harness.report import format_table, render_run_summary
 from repro.harness.sweep import ExperimentFailedError, SweepRunner
 from repro.obs import ALL_CATEGORIES, TRACE_FORMATS
 from repro.network.topology import TOPOLOGY_BUILDERS, TOPOLOGY_NAMES
@@ -151,38 +156,7 @@ def _cmd_run(args) -> int:
     except ExperimentFailedError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    rows = [
-        ["modules", result.num_modules],
-        ["power per HMC", f"{result.power_per_hmc_w:.3f} W"],
-        ["network power", f"{result.network_power_w:.2f} W"],
-        ["idle I/O share", f"{result.idle_io_fraction:.0%}"],
-        ["I/O share", f"{result.breakdown.io_fraction:.0%}"],
-        ["throughput", f"{result.throughput_per_s:.3e} accesses/s"],
-        ["avg read latency", f"{result.avg_read_latency_ns:.1f} ns"],
-        ["max read latency", f"{result.max_read_latency_ns:.1f} ns"],
-        ["channel utilization", f"{result.channel_utilization:.1%}"],
-        ["avg link utilization", f"{result.link_utilization:.1%}"],
-        ["modules traversed/access", f"{result.avg_modules_traversed:.2f}"],
-        ["completed reads/writes",
-         f"{result.completed_reads}/{result.completed_writes}"],
-        ["epochs / violations", f"{result.epochs}/{result.violations}"],
-        ["events processed", result.events_processed],
-        ["sim wall time", f"{result.wall_time_s:.2f} s"],
-    ]
-    if config.fault_spec:
-        rows[-1:-1] = [
-            ["fault events", result.fault_events],
-            ["link retries (flits)",
-             f"{result.link_retries} ({result.retry_flits})"],
-            ["retry time", f"{result.retry_time_ns:.0f} ns"],
-            ["vault stalls", result.vault_stalls],
-        ]
-    mech_label = config.mechanism
-    if config.mechanism_overrides:
-        mech_label += f" [{config.mechanism_overrides}]"
-    title = (f"{config.workload} on {config.scale} {config.topology}, "
-             f"{mech_label}/{config.policy}")
-    print(format_table(["metric", "value"], rows, title=title))
+    print(render_run_summary(config, result))
 
     if args.baseline and config.policy != "none":
         base = runner.run(config.baseline())
@@ -391,6 +365,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run only the named benchmarks")
     bench_p.add_argument("--list", action="store_true",
                          help="list benchmark scenarios and exit")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the long-running experiment service (see docs/serving.md)",
+        parents=[exec_flags, journal_flags])
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="TCP port; 0 picks an ephemeral port and "
+                              "prints it (default: 8642)")
+    serve_p.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="max outstanding simulations (queued + in flight); further "
+             "cache-missing requests get HTTP 429 (default: 64)")
+    serve_p.add_argument(
+        "--memory-entries", type=int, default=512, metavar="N",
+        help="in-memory LRU result-cache capacity; 0 disables the "
+             "memory tier (default: 512)")
+    serve_p.add_argument(
+        "--batch-window-ms", type=float, default=10.0, metavar="MS",
+        help="linger before dispatching queued misses, so concurrent "
+             "requests coalesce into one executor batch (default: 10)")
+    serve_p.add_argument(
+        "--batch-max", type=int, default=16, metavar="N",
+        help="max configs per coalesced executor batch (default: 16)")
+    serve_p.add_argument(
+        "--request-timeout", type=float, default=600.0, metavar="SECS",
+        help="per-request wait budget before the server answers 504 "
+             "(default: 600)")
+    serve_p.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECS",
+        help="max seconds a SIGTERM drain waits for in-flight work "
+             "(default: wait forever)")
+    serve_p.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per HTTP request to stderr")
 
     val_p = sub.add_parser(
         "validate",
@@ -660,6 +670,43 @@ def _cmd_validate(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ExperimentService, ServiceSettings, run_server
+
+    try:
+        disk = None if args.no_cache else DiskCache(args.cache_dir)
+    except NotADirectoryError as exc:
+        raise SystemExit(f"error: {exc}")
+    executor = make_executor(args.jobs, timeout_s=args.timeout,
+                             retries=args.retries)
+    if args.resume and not args.journal:
+        raise SystemExit("error: --resume requires --journal PATH")
+    journal = (
+        SweepJournal(args.journal, resume=args.resume) if args.journal else None
+    )
+    settings = ServiceSettings(
+        queue_limit=args.queue_limit,
+        memory_entries=args.memory_entries,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        batch_max=args.batch_max,
+        request_timeout_s=args.request_timeout,
+    )
+    service = ExperimentService(
+        executor=executor, disk_cache=disk, settings=settings, journal=journal
+    )
+    if journal is not None and args.resume:
+        warmed = service.warm_start(journal)
+        print(f"# warm start: {warmed} results from {args.journal}",
+              file=sys.stderr)
+    return run_server(
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+
 def _cmd_batch(args) -> int:
     from repro.harness.io import load_batch, save_results_csv, save_results_json
 
@@ -714,6 +761,8 @@ def main(argv=None) -> int:
         return _cmd_batch(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2
 
 

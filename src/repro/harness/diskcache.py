@@ -20,6 +20,17 @@ are treated as misses and moved aside into a ``quarantine/``
 subdirectory (so a recurring corruption source stays diagnosable
 instead of silently vanishing); the ``quarantined`` counter surfaces
 how often that happened.
+
+Thread safety: one :class:`DiskCache` instance may be shared by
+concurrent readers and writers (the experiment service's HTTP handler
+threads all funnel through a single instance).  File operations are
+already safe -- writes land via ``mkstemp`` + atomic ``os.replace`` and
+a read races a replace only into seeing the old or the new complete
+entry -- and the hit/miss/write/quarantine counters are guarded by an
+internal lock so they stay exact under contention.  Two threads racing
+to quarantine the same corrupt entry count it once: the loser's
+``os.replace`` finds the path gone and treats that as
+already-quarantined.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Optional, Union
 
@@ -63,6 +75,9 @@ class DiskCache:
         self.misses = 0
         self.writes = 0
         self.quarantined = 0
+        # Guards the counters above (file operations are individually
+        # atomic and need no lock; see the module docstring).
+        self._lock = threading.Lock()
 
     @property
     def schema_tag(self) -> str:
@@ -88,15 +103,18 @@ class DiskCache:
                 data = json.load(fh)
             result = result_from_cache_dict(data["result"])
         except FileNotFoundError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
             # Corrupt or half-written entry: quarantine it (keeps the
             # evidence for diagnosis) and re-simulate.
             self._quarantine(path)
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return result
 
     def _quarantine(self, path: Path) -> None:
@@ -105,17 +123,26 @@ class DiskCache:
         The quarantine directory sits *inside* the schema-tagged
         directory but its entries are never globbed by ``__len__`` nor
         looked up by ``get`` -- they only exist for post-mortems.
+        Concurrent readers may race to quarantine the same entry; the
+        loser finds the path already gone (``FileNotFoundError``) and
+        does not double-count.
         """
         target = self.directory / "quarantine" / path.name
         try:
             target.parent.mkdir(parents=True, exist_ok=True)
             os.replace(path, target)
+        except FileNotFoundError:
+            # Another thread already moved (or removed) it.
+            return
         except OSError:
             try:
                 path.unlink()
+            except FileNotFoundError:
+                return
             except OSError:
                 return
-        self.quarantined += 1
+        with self._lock:
+            self.quarantined += 1
 
     def put(self, config: ExperimentConfig, result: ExperimentResult) -> Path:
         """Persist ``result`` under ``config``'s key; returns the path."""
@@ -139,7 +166,8 @@ class DiskCache:
             except OSError:
                 pass
             raise
-        self.writes += 1
+        with self._lock:
+            self.writes += 1
         return path
 
     def __len__(self) -> int:

@@ -28,6 +28,12 @@ bit-identical results for the same batch, *including* retried configs
 (a retry re-runs the same deterministic simulation).  Results are
 mapped back to configs **by submission index**, never by pool
 completion order (``tests/test_executor.py`` pins this).
+
+Thread safety: both executors are frozen dataclasses whose
+``run_many`` keeps all mutable state in locals (the parallel backend
+builds a fresh process pool per call), so one executor instance may be
+shared by concurrent threads -- the experiment service's batch
+dispatcher relies on this.
 """
 
 from __future__ import annotations
@@ -130,6 +136,20 @@ class Executor:
     def run(self, config: ExperimentConfig) -> ExperimentOutcome:
         """Simulate a single config."""
         return self.run_many([config])[0]
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe summary of this backend (kind, jobs, hardening).
+
+        Surfaced by the experiment service's ``/stats`` endpoint so an
+        operator can see what executes cache misses without reading the
+        launch command.
+        """
+        return {
+            "kind": type(self).__name__,
+            "jobs": self.jobs,
+            "timeout_s": getattr(self, "timeout_s", None),
+            "retries": getattr(self, "retries", 0),
+        }
 
 
 # ----------------------------------------------------------------------

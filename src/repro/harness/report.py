@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "format_percent", "format_watts", "print_table"]
+__all__ = [
+    "format_table",
+    "format_percent",
+    "format_watts",
+    "print_table",
+    "render_run_summary",
+]
 
 
 def format_percent(value: float, digits: int = 1) -> str:
@@ -48,6 +54,49 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(fmt(row) for row in str_rows)
     return "\n".join(lines)
+
+
+def render_run_summary(config, result) -> str:
+    """The single-experiment summary table, as ``repro-mnet run`` prints it.
+
+    One shared renderer keeps every surface that reports an
+    :class:`~repro.harness.experiment.ExperimentResult` -- the CLI
+    ``run`` subcommand and the experiment service's ``summary`` response
+    field -- byte-identical for the same config, which the serve smoke
+    test pins (see docs/serving.md).
+    """
+    rows: List[List[object]] = [
+        ["modules", result.num_modules],
+        ["power per HMC", f"{result.power_per_hmc_w:.3f} W"],
+        ["network power", f"{result.network_power_w:.2f} W"],
+        ["idle I/O share", f"{result.idle_io_fraction:.0%}"],
+        ["I/O share", f"{result.breakdown.io_fraction:.0%}"],
+        ["throughput", f"{result.throughput_per_s:.3e} accesses/s"],
+        ["avg read latency", f"{result.avg_read_latency_ns:.1f} ns"],
+        ["max read latency", f"{result.max_read_latency_ns:.1f} ns"],
+        ["channel utilization", f"{result.channel_utilization:.1%}"],
+        ["avg link utilization", f"{result.link_utilization:.1%}"],
+        ["modules traversed/access", f"{result.avg_modules_traversed:.2f}"],
+        ["completed reads/writes",
+         f"{result.completed_reads}/{result.completed_writes}"],
+        ["epochs / violations", f"{result.epochs}/{result.violations}"],
+        ["events processed", result.events_processed],
+        ["sim wall time", f"{result.wall_time_s:.2f} s"],
+    ]
+    if config.fault_spec:
+        rows[-1:-1] = [
+            ["fault events", result.fault_events],
+            ["link retries (flits)",
+             f"{result.link_retries} ({result.retry_flits})"],
+            ["retry time", f"{result.retry_time_ns:.0f} ns"],
+            ["vault stalls", result.vault_stalls],
+        ]
+    mech_label = config.mechanism
+    if config.mechanism_overrides:
+        mech_label += f" [{config.mechanism_overrides}]"
+    title = (f"{config.workload} on {config.scale} {config.topology}, "
+             f"{mech_label}/{config.policy}")
+    return format_table(["metric", "value"], rows, title=title)
 
 
 def print_table(

@@ -91,6 +91,27 @@ class Histogram:
         """Mean of all observations (0.0 when empty)."""
         return self.sum / self.total if self.total else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Upper-edge estimate of the ``q``-quantile (0 <= q <= 1).
+
+        Returns the upper edge of the first bucket whose cumulative
+        count reaches ``q * total`` -- a conservative (never
+        underestimating within bucket resolution) answer suitable for
+        p50/p95 service latencies.  Observations in the overflow bucket
+        clamp to the last finite edge; an empty histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"histogram {self.name}: quantile {q} not in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        cumulative = 0
+        for i, count in enumerate(self.counts[:-1]):
+            cumulative += count
+            if cumulative >= target:
+                return self.edges[i]
+        return self.edges[-1]
+
     def as_dict(self) -> Dict:
         """JSON-safe summary: edges, per-bucket counts, total, mean."""
         return {

@@ -1,0 +1,48 @@
+"""Long-running experiment service (``repro-mnet serve``).
+
+A local HTTP+JSON front end over the experiment harness for the
+many-overlapping-queries workloads the ROADMAP's "serves heavy traffic"
+north star describes: downstream power-model studies that issue bursts
+of (largely duplicate) sweep requests against the simulator.
+
+Requests are answered through a tiered path::
+
+    HTTP request
+        |-- single-flight join (identical in-flight request? attach)
+        |-- memory tier   LruResultCache   (bounded, LRU-evicted)
+        |-- disk tier     DiskCache        (persistent, shared with CLI)
+        `-- simulate      Executor batch   (coalesced, bounded queue)
+
+with admission control (429 when the simulation queue is full, 503
+while draining), graceful SIGTERM drain, and ``/healthz`` / ``/stats``
+/ ``/metrics`` endpoints wired into the observability layer's
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+See docs/serving.md for the API schema and worked examples.
+"""
+
+from repro.serve.http import ExperimentServer, ServeHandler, run_server
+from repro.serve.lru import LruResultCache
+from repro.serve.service import (
+    AdmissionError,
+    DrainingError,
+    ExperimentService,
+    LATENCY_EDGES_MS,
+    QueueFullError,
+    RequestTicket,
+    ServiceSettings,
+)
+
+__all__ = [
+    "AdmissionError",
+    "DrainingError",
+    "ExperimentServer",
+    "ExperimentService",
+    "LATENCY_EDGES_MS",
+    "LruResultCache",
+    "QueueFullError",
+    "RequestTicket",
+    "ServeHandler",
+    "ServiceSettings",
+    "run_server",
+]

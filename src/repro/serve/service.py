@@ -1,0 +1,514 @@
+"""The long-running experiment service behind ``repro-mnet serve``.
+
+:class:`ExperimentService` answers experiment requests through a tiered
+path -- in-memory :class:`~repro.serve.lru.LruResultCache` (keyed by
+:meth:`~repro.harness.experiment.ExperimentConfig.cache_key`), then the
+persistent :class:`~repro.harness.diskcache.DiskCache`, then an actual
+simulation on the configured
+:class:`~repro.harness.executor.Executor` -- with the serving
+behaviours a shared simulator needs:
+
+* **single-flight deduplication** -- N concurrent requests for the same
+  cache key attach to one :class:`RequestTicket`; exactly one
+  simulation runs and every waiter gets its result (the joiners are
+  counted as ``dedup_coalesced``);
+* **request batching** -- cache misses queue up and a dispatcher thread
+  coalesces them (a short linger window, then up to ``batch_max``
+  configs) into one ``Executor.run_many`` call, so a
+  :class:`~repro.harness.executor.ParallelExecutor` overlaps them;
+* **admission control / backpressure** -- at most ``queue_limit``
+  simulations may be outstanding (queued + in flight); requests beyond
+  that are rejected with :class:`QueueFullError` (HTTP 429) and
+  requests after drain began with :class:`DrainingError` (HTTP 503);
+* **graceful drain** -- :meth:`ExperimentService.drain` stops admitting
+  work, finishes every admitted ticket, flushes and closes the journal,
+  and joins the dispatcher;
+* **observability** -- every counter is mirrored into a
+  :class:`~repro.obs.metrics.MetricsRegistry` (``serve.*`` namespace,
+  latency histogram included) and :meth:`ExperimentService.stats`
+  returns the JSON payload the ``/stats`` endpoint serves.
+
+Results a simulation produces are written back to both cache tiers (and
+the journal, when attached), so a repeat request is a memory-tier hit
+and a restarted server warms from disk.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.harness.diskcache import DiskCache
+from repro.harness.executor import (
+    Executor,
+    ExperimentOutcome,
+    FailedResult,
+    SerialExecutor,
+)
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
+from repro.harness.journal import SweepJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.lru import LruResultCache
+
+__all__ = [
+    "AdmissionError",
+    "QueueFullError",
+    "DrainingError",
+    "RequestTicket",
+    "ServiceSettings",
+    "ExperimentService",
+    "LATENCY_EDGES_MS",
+]
+
+#: Latency histogram bucket edges (milliseconds).
+LATENCY_EDGES_MS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0, 120000.0,
+)
+
+
+class AdmissionError(RuntimeError):
+    """A request the service refused to admit.
+
+    ``http_status`` is the HTTP response code the serving layer maps
+    this to; ``retry_after_s`` (when not None) becomes a ``Retry-After``
+    header hinting when the client should try again.
+    """
+
+    http_status = 503
+    retry_after_s: Optional[float] = None
+
+
+class QueueFullError(AdmissionError):
+    """Backpressure: the bounded simulation queue is at capacity (429)."""
+
+    http_status = 429
+    retry_after_s = 1.0
+
+
+class DrainingError(AdmissionError):
+    """The service is draining and refuses new work (503)."""
+
+    http_status = 503
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """Tunables for :class:`ExperimentService`.
+
+    ``queue_limit`` bounds *outstanding simulations* (queued plus
+    dispatched), not total requests -- cache hits and coalesced
+    duplicates are always admitted.  ``batch_window_s`` is the linger
+    the dispatcher waits after the first queued miss so concurrent
+    misses coalesce into one executor batch of up to ``batch_max``
+    configs.  ``request_timeout_s`` is the default budget
+    :meth:`ExperimentService.execute` waits for a ticket.
+    """
+
+    queue_limit: int = 64
+    memory_entries: int = 512
+    batch_window_s: float = 0.01
+    batch_max: int = 16
+    request_timeout_s: float = 600.0
+
+
+class RequestTicket:
+    """One admitted request (and everyone coalesced onto it).
+
+    Exactly one of ``result`` / ``failure`` / ``rejection`` is set when
+    :meth:`done` becomes True.  ``tier`` records which layer answered:
+    ``"memory"``, ``"disk"``, or ``"simulated"`` (also set on
+    failures).
+    """
+
+    def __init__(self, key: str, config: ExperimentConfig) -> None:
+        self.key = key
+        self.config = config
+        self.submitted_at = time.monotonic()
+        self.waiters = 1
+        self.tier: Optional[str] = None
+        self.result: Optional[ExperimentResult] = None
+        self.failure: Optional[FailedResult] = None
+        self.rejection: Optional[AdmissionError] = None
+        self._event = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        """True once an outcome (result, failure, or rejection) is set."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the ticket resolves; False on timeout."""
+        return self._event.wait(timeout)
+
+    def _resolve(self) -> None:
+        self._event.set()
+
+
+class ExperimentService:
+    """Tiered, deduplicating, backpressured experiment request broker.
+
+    Thread-safe: any number of threads may call :meth:`submit` /
+    :meth:`execute` / :meth:`stats` concurrently; one internal
+    dispatcher thread owns executor batches and journal writes.
+    Call :meth:`start` before submitting and :meth:`drain` to shut
+    down.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        disk_cache: Optional[DiskCache] = None,
+        settings: Optional[ServiceSettings] = None,
+        journal: Optional[SweepJournal] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.disk_cache = disk_cache
+        self.settings = settings if settings is not None else ServiceSettings()
+        self.journal = journal
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.memory = LruResultCache(self.settings.memory_entries)
+
+        self._cond = threading.Condition()
+        #: Live (unresolved) tickets by cache key -- the single-flight map.
+        self._tickets: Dict[str, RequestTicket] = {}
+        self._queue: Deque[RequestTicket] = deque()
+        self._in_flight = 0
+        self._probing = 0
+        self._draining = False
+        self._started_at = time.monotonic()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._latencies_ms: Deque[float] = deque(maxlen=2048)
+        self._latency_hist = self.registry.histogram(
+            "serve.latency_ms", LATENCY_EDGES_MS
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ExperimentService":
+        """Start the batch dispatcher thread (idempotent); returns self."""
+        with self._cond:
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name="serve-dispatcher",
+                    daemon=True,
+                )
+                self._dispatcher.start()
+        return self
+
+    def warm_start(self, journal: SweepJournal) -> int:
+        """Seed the memory tier from a resumed journal's replayed results.
+
+        Returns the number of entries loaded.  Call before :meth:`start`
+        (or at least before traffic) -- it writes only the memory tier.
+        """
+        for key, result in journal.results.items():
+            self.memory.put(key, result)
+        return len(journal.results)
+
+    def begin_drain(self) -> None:
+        """Stop admitting new requests; already-admitted work continues."""
+        with self._cond:
+            self._draining = True
+            self.registry.gauge("serve.draining").set(1.0)
+            self._cond.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` (or :meth:`drain`) was called."""
+        with self._cond:
+            return self._draining
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted ticket resolved; False on timeout."""
+        with self._cond:
+            return self._cond.wait_for(lambda: not self._tickets, timeout)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: refuse new work, finish admitted work,
+        flush and close the journal, stop the dispatcher.
+
+        Returns True when everything in flight completed within
+        ``timeout`` (None = wait forever).
+        """
+        self.begin_drain()
+        idle = self.wait_idle(timeout)
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0 if idle else 0.5)
+        if self.journal is not None:
+            self.journal.close()
+        return idle
+
+    # -- request path --------------------------------------------------
+    def submit(self, config: ExperimentConfig) -> RequestTicket:
+        """Admit one request; returns its (possibly shared) ticket.
+
+        Resolution order: join an identical in-flight ticket
+        (single-flight), hit the memory tier, hit the disk tier, or
+        queue a simulation.  Raises :class:`DrainingError` after drain
+        began and :class:`QueueFullError` when the simulation queue is
+        at capacity; a ticket that *joiners* are already attached to is
+        instead resolved with the rejection so every waiter sees it.
+        """
+        key = config.cache_key()
+        with self._cond:
+            self._bump("serve.requests_total")
+            if self._draining:
+                self._bump("serve.rejected_draining")
+                raise DrainingError("service is draining; not accepting work")
+            ticket = self._tickets.get(key)
+            if ticket is not None:
+                ticket.waiters += 1
+                self._bump("serve.dedup_coalesced")
+                return ticket
+            cached = self.memory.get(key)
+            if cached is not None:
+                self._bump("serve.memory_hits")
+                return self._hit_ticket(key, config, cached, "memory")
+            ticket = RequestTicket(key, config)
+            self._tickets[key] = ticket
+            self._probing += 1
+        # Disk probe outside the lock: small JSON read, but no reason to
+        # serialize every other submitter behind it.
+        result = self.disk_cache.get(config) if self.disk_cache else None
+        if result is not None:
+            self.memory.put(key, result)
+            with self._cond:
+                self._probing -= 1
+                del self._tickets[key]
+                self._bump("serve.disk_hits")
+                ticket.tier = "disk"
+                ticket.result = result
+                self._observe_latency(ticket)
+                self._cond.notify_all()
+            ticket._resolve()
+            return ticket
+        with self._cond:
+            self._probing -= 1
+            outstanding = len(self._queue) + self._in_flight
+            if self.settings.queue_limit and outstanding >= self.settings.queue_limit:
+                del self._tickets[key]
+                self._bump("serve.rejected_queue_full")
+                rejection = QueueFullError(
+                    f"simulation queue full ({outstanding} outstanding, "
+                    f"limit {self.settings.queue_limit})"
+                )
+                ticket.rejection = rejection
+                self._cond.notify_all()
+                ticket._resolve()
+                raise rejection
+            self._queue.append(ticket)
+            self.registry.gauge("serve.queue_depth").set(len(self._queue))
+            self._cond.notify_all()
+        return ticket
+
+    def execute(
+        self, config: ExperimentConfig, timeout: Optional[float] = None
+    ) -> RequestTicket:
+        """Submit and wait: the resolved ticket, or raise on timeout.
+
+        ``timeout=None`` uses ``settings.request_timeout_s``.  Raises
+        :class:`AdmissionError` subclasses exactly as :meth:`submit`
+        does and :class:`TimeoutError` when the ticket does not resolve
+        in time.
+        """
+        ticket = self.submit(config)
+        budget = timeout if timeout is not None else self.settings.request_timeout_s
+        if not ticket.wait(budget):
+            raise TimeoutError(
+                f"experiment request did not resolve within {budget:g}s"
+            )
+        return ticket
+
+    # -- dispatcher ----------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        """Dispatcher thread body: coalesce queued misses into batches."""
+        settings = self.settings
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: self._queue
+                    or (self._draining and self._probing == 0)
+                )
+                if not self._queue:
+                    # Draining and nothing queued (nor probing): done.
+                    return
+            if settings.batch_window_s > 0 and not self._draining:
+                # Linger so concurrent misses coalesce into one batch.
+                time.sleep(settings.batch_window_s)
+            with self._cond:
+                batch: List[RequestTicket] = []
+                while self._queue and len(batch) < settings.batch_max:
+                    batch.append(self._queue.popleft())
+                self._in_flight += len(batch)
+                if batch:
+                    self._bump("serve.batches")
+                self.registry.gauge("serve.queue_depth").set(len(self._queue))
+                self.registry.gauge("serve.in_flight").set(self._in_flight)
+            if not batch:
+                continue
+            completed = [False] * len(batch)
+
+            def _on_result(
+                index: int,
+                _config: ExperimentConfig,
+                outcome: ExperimentOutcome,
+                _batch: List[RequestTicket] = batch,
+                _completed: List[bool] = completed,
+            ) -> None:
+                _completed[index] = True
+                self._finish_simulated(_batch[index], outcome)
+
+            try:
+                self.executor.run_many(
+                    [t.config for t in batch], on_result=_on_result
+                )
+            except Exception as exc:  # noqa: BLE001 - never strand waiters
+                for index, ticket in enumerate(batch):
+                    if not completed[index]:
+                        completed[index] = True
+                        self._finish_simulated(
+                            ticket,
+                            FailedResult(
+                                config=ticket.config,
+                                error_type="error",
+                                message=f"executor failed: "
+                                        f"{type(exc).__name__}: {exc}",
+                            ),
+                        )
+
+    def _finish_simulated(
+        self, ticket: RequestTicket, outcome: ExperimentOutcome
+    ) -> None:
+        """Resolve one dispatched ticket: caches, journal, counters."""
+        if isinstance(outcome, FailedResult):
+            ticket.failure = outcome
+            ticket.tier = "simulated"
+            if self.journal is not None:
+                self.journal.record_failed(ticket.key, outcome)
+        else:
+            ticket.result = outcome
+            ticket.tier = "simulated"
+            self.memory.put(ticket.key, outcome)
+            if self.disk_cache is not None:
+                self.disk_cache.put(ticket.config, outcome)
+            if self.journal is not None:
+                self.journal.record_done(ticket.key, outcome)
+        with self._cond:
+            self._in_flight -= 1
+            self._tickets.pop(ticket.key, None)
+            if ticket.failure is not None:
+                self._bump("serve.failed")
+            else:
+                self._bump("serve.simulated")
+            self._observe_latency(ticket)
+            self.registry.gauge("serve.in_flight").set(self._in_flight)
+            self._cond.notify_all()
+        ticket._resolve()
+
+    # -- accounting (call with self._cond held) ------------------------
+    def _bump(self, name: str, amount: float = 1.0) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def _hit_ticket(
+        self,
+        key: str,
+        config: ExperimentConfig,
+        result: ExperimentResult,
+        tier: str,
+    ) -> RequestTicket:
+        ticket = RequestTicket(key, config)
+        ticket.tier = tier
+        ticket.result = result
+        self._observe_latency(ticket)
+        ticket._resolve()
+        return ticket
+
+    def _observe_latency(self, ticket: RequestTicket) -> None:
+        latency_ms = (time.monotonic() - ticket.submitted_at) * 1000.0
+        self._latencies_ms.append(latency_ms)
+        self._latency_hist.observe(latency_ms)
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> Dict:
+        """The ``/stats`` payload: tiers, dedup, queue, latency, uptime."""
+        with self._cond:
+            counters = {
+                name: self.registry.counter(name).value
+                for name in (
+                    "serve.requests_total",
+                    "serve.dedup_coalesced",
+                    "serve.memory_hits",
+                    "serve.disk_hits",
+                    "serve.simulated",
+                    "serve.failed",
+                    "serve.rejected_queue_full",
+                    "serve.rejected_draining",
+                    "serve.batches",
+                )
+            }
+            recent = sorted(self._latencies_ms)
+            snapshot = {
+                "draining": self._draining,
+                "uptime_s": time.monotonic() - self._started_at,
+                "queue_depth": len(self._queue),
+                "in_flight": self._in_flight,
+                "queue_limit": self.settings.queue_limit,
+            }
+        served = (
+            counters["serve.memory_hits"]
+            + counters["serve.disk_hits"]
+            + counters["serve.simulated"]
+        )
+        tiers = {
+            "memory": counters["serve.memory_hits"],
+            "disk": counters["serve.disk_hits"],
+            "simulated": counters["serve.simulated"],
+            "hit_ratio": {
+                "memory": counters["serve.memory_hits"] / served if served else 0.0,
+                "disk": counters["serve.disk_hits"] / served if served else 0.0,
+            },
+        }
+        latency = {
+            "count": len(recent),
+            "p50_ms": _percentile(recent, 0.50),
+            "p95_ms": _percentile(recent, 0.95),
+        }
+        stats = dict(snapshot)
+        stats.update(
+            requests_total=counters["serve.requests_total"],
+            dedup_coalesced=counters["serve.dedup_coalesced"],
+            rejected_queue_full=counters["serve.rejected_queue_full"],
+            rejected_draining=counters["serve.rejected_draining"],
+            failed=counters["serve.failed"],
+            batches=counters["serve.batches"],
+            tiers=tiers,
+            memory_cache=self.memory.stats(),
+            latency=latency,
+            executor=self.executor.describe(),
+        )
+        if self.disk_cache is not None:
+            stats["disk_cache"] = {
+                "hits": self.disk_cache.hits,
+                "misses": self.disk_cache.misses,
+                "writes": self.disk_cache.writes,
+                "quarantined": self.disk_cache.quarantined,
+            }
+        if self.journal is not None:
+            stats["journal"] = {
+                "path": str(self.journal.path),
+                "records_written": self.journal.records_written,
+            }
+        return stats
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Exact nearest-rank percentile of an ascending list (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[rank]

@@ -28,6 +28,7 @@ PUBLIC_MODULES = (
     "repro.obs",
     "repro.perf",
     "repro.power",
+    "repro.serve",
     "repro.sim",
     "repro.validation",
     "repro.workloads",

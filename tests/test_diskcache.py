@@ -1,8 +1,10 @@
 """Tests for the persistent on-disk result cache and its SweepRunner
 integration: cross-invocation reuse, schema invalidation, observability
-sufficiency, and cache-key aliasing."""
+sufficiency, cache-key aliasing, and concurrent reader/writer safety."""
 
 import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -159,3 +161,64 @@ class TestSweepRunnerWithDiskCache:
         runner.run(cfg)
         assert runner.memory_hits == 1
         assert runner.disk_cache.hits == 0
+
+
+class TestDiskCacheConcurrency:
+    """One shared DiskCache under a thread pool (the serving workload:
+    every HTTP handler thread funnels through a single instance)."""
+
+    THREADS = 8
+    ROUNDS = 25
+
+    def test_thread_pool_hammering_one_key(self, tmp_path, cfg):
+        cache = DiskCache(tmp_path)
+        result = SweepRunner().run(cfg)
+        bad = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(_worker: int) -> None:
+            barrier.wait()  # maximize overlap
+            for _ in range(self.ROUNDS):
+                cache.put(cfg, result)
+                got = cache.get(cfg)
+                # Writes are atomic: a concurrent reader sees a complete
+                # entry (old or new), never a torn one and never a miss.
+                if got != result:
+                    bad.append(got)
+
+        with ThreadPoolExecutor(max_workers=self.THREADS) as pool:
+            for future in [
+                pool.submit(hammer, i) for i in range(self.THREADS)
+            ]:
+                future.result()
+        total = self.THREADS * self.ROUNDS
+        assert not bad
+        assert cache.writes == total
+        assert cache.hits == total
+        assert cache.misses == 0
+        assert cache.quarantined == 0
+        assert len(cache) == 1  # no stray tmp files counted as entries
+        assert cache.get(cfg) == result
+
+    def test_concurrent_quarantine_counts_once(self, tmp_path, cfg):
+        cache = DiskCache(tmp_path)
+        cache.put(cfg, SweepRunner().run(cfg))
+        cache.path_for(cfg).write_text("{ torn")
+        barrier = threading.Barrier(self.THREADS)
+
+        def read(_worker: int):
+            barrier.wait()
+            return cache.get(cfg)
+
+        with ThreadPoolExecutor(max_workers=self.THREADS) as pool:
+            results = [
+                f.result()
+                for f in [pool.submit(read, i) for i in range(self.THREADS)]
+            ]
+        # Every racer sees a miss; exactly one wins the quarantine move.
+        assert results == [None] * self.THREADS
+        assert cache.misses == self.THREADS
+        assert cache.quarantined == 1
+        assert not cache.path_for(cfg).exists()
+        quarantine = cache.directory / "quarantine"
+        assert len(list(quarantine.glob("*.json"))) == 1

@@ -26,7 +26,7 @@ class TestDeliverables:
         for name in (
             "architecture.md", "algorithms.md", "reproducing.md",
             "api.md", "workloads.md", "observability.md", "figures.md",
-            "resilience.md", "validation.md",
+            "resilience.md", "validation.md", "serving.md",
         ):
             assert (REPO / "docs" / name).is_file(), name
 
@@ -114,6 +114,31 @@ class TestValidationDocExecutes:
             except Exception as exc:  # pragma: no cover - diagnostic
                 pytest.fail(
                     f"docs/validation.md block {i} failed: {exc!r}\n{block}"
+                )
+
+
+class TestServingDocExecutes:
+    """docs/serving.md is executable documentation.
+
+    The worked example (tiered execute, memory-tier repeat, the
+    in-process HTTP stack, graceful drain) runs top-to-bottom in one
+    shared namespace, so the documented API semantics -- tier names,
+    /stats shape, status codes, drain behaviour -- can never drift
+    from what the serve package implements.
+    """
+
+    def test_every_code_block_runs(self, tmp_path, monkeypatch):
+        blocks = python_blocks(REPO / "docs" / "serving.md")
+        assert len(blocks) >= 4, "serving.md lost its worked example"
+        monkeypatch.chdir(tmp_path)
+        namespace = {}
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"serving.md[block {i}]", "exec"),
+                     namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(
+                    f"docs/serving.md block {i} failed: {exc!r}\n{block}"
                 )
 
 

@@ -229,6 +229,21 @@ class TestMetrics:
         with pytest.raises(ValueError):
             Histogram("bad", (10.0, 1.0))
 
+    def test_histogram_quantile(self):
+        h = Histogram("x", (1.0, 10.0, 100.0))
+        assert h.quantile(0.5) == 0.0  # empty
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(0.75) == 100.0
+        assert h.quantile(1.0) == 100.0  # overflow clamps to last edge
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
     def test_registry_get_or_create(self):
         reg = MetricsRegistry()
         assert reg.counter("a") is reg.counter("a")

@@ -1,0 +1,523 @@
+"""Experiment service tests: tiering, single-flight dedup, batching,
+backpressure/admission codes, graceful drain, and the HTTP API
+(endpoints, error mapping, /stats accounting)."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.harness.diskcache import DiskCache
+from repro.harness.executor import Executor, FailedResult
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
+from repro.harness.journal import SweepJournal
+from repro.harness.report import render_run_summary
+from repro.power.accounting import PowerBreakdown
+from repro.serve import (
+    DrainingError,
+    ExperimentServer,
+    ExperimentService,
+    LruResultCache,
+    QueueFullError,
+    ServiceSettings,
+)
+
+FAST = dict(window_ns=20_000.0, epoch_ns=5_000.0)
+
+WATTS = {
+    "idle_io": 2.0, "active_io": 1.0, "logic_leak": 0.5,
+    "logic_dyn": 0.5, "dram_leak": 0.5, "dram_dyn": 0.5,
+}
+
+
+def fake_result(config: ExperimentConfig) -> ExperimentResult:
+    """A structurally valid result without running a simulation."""
+    return ExperimentResult(
+        config=config,
+        num_modules=16,
+        breakdown=PowerBreakdown(watts=dict(WATTS)),
+        throughput_per_s=1e9 + config.seed,
+        avg_read_latency_ns=100.0,
+        max_read_latency_ns=500.0,
+        channel_utilization=0.5,
+        link_utilization=0.1,
+        avg_modules_traversed=2.0,
+        completed_reads=1000,
+        completed_writes=500,
+        events_processed=1234,
+        wall_time_s=0.01,
+    )
+
+
+class GateExecutor(Executor):
+    """Fake executor: blocks each batch on a gate, counts calls."""
+
+    jobs = 1
+
+    def __init__(self, hold: bool = False, fail: bool = False) -> None:
+        self.gate = threading.Event()
+        if not hold:
+            self.gate.set()
+        self.fail = fail
+        self.batches = []
+        self.simulated = 0
+
+    def run_many(self, configs, on_result=None):
+        """Resolve every config with a fake result (or failure)."""
+        configs = list(configs)
+        self.batches.append(len(configs))
+        assert self.gate.wait(20), "gate never opened"
+        out = []
+        for i, config in enumerate(configs):
+            self.simulated += 1
+            if self.fail:
+                outcome = FailedResult(
+                    config=config, error_type="error", message="boom"
+                )
+            else:
+                outcome = fake_result(config)
+            if on_result is not None:
+                on_result(i, config, outcome)
+            out.append(outcome)
+        return out
+
+
+def make_service(tmp_path=None, executor=None, **settings) -> ExperimentService:
+    settings.setdefault("batch_window_s", 0.005)
+    return ExperimentService(
+        executor=executor or GateExecutor(),
+        disk_cache=DiskCache(tmp_path) if tmp_path is not None else None,
+        settings=ServiceSettings(**settings),
+    ).start()
+
+
+@pytest.fixture()
+def cfg():
+    return ExperimentConfig(workload="mixB", **FAST)
+
+
+class TestLruResultCache:
+    def test_hit_miss_and_eviction_accounting(self, cfg):
+        lru = LruResultCache(capacity=2)
+        assert lru.get("a") is None and lru.misses == 1
+        ra, rb, rc = (fake_result(cfg.replace(seed=i)) for i in (1, 2, 3))
+        lru.put("a", ra)
+        lru.put("b", rb)
+        assert lru.get("a") is ra  # refreshes recency: b is now LRU
+        lru.put("c", rc)
+        assert lru.evictions == 1
+        assert lru.get("b") is None  # b was evicted, not a
+        assert lru.get("a") is ra and lru.get("c") is rc
+        assert lru.stats()["size"] == 2
+
+    def test_capacity_zero_disables_the_tier(self, cfg):
+        lru = LruResultCache(capacity=0)
+        lru.put("a", fake_result(cfg))
+        assert lru.get("a") is None
+        assert len(lru) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruResultCache(capacity=-1)
+
+
+class TestSingleFlight:
+    def test_n_concurrent_identical_requests_one_simulation(self, cfg):
+        executor = GateExecutor(hold=True)
+        service = make_service(executor=executor)
+        tickets = [service.submit(cfg) for _ in range(6)]
+        assert len({id(t) for t in tickets}) == 1  # one shared flight
+        executor.gate.set()
+        assert tickets[0].wait(10)
+        assert executor.simulated == 1
+        stats = service.stats()
+        assert stats["tiers"]["simulated"] == 1
+        assert stats["dedup_coalesced"] == 5
+        assert stats["requests_total"] == 6
+        assert service.drain(timeout=5)
+
+    def test_distinct_configs_do_not_coalesce(self, cfg):
+        executor = GateExecutor()
+        service = make_service(executor=executor)
+        a = service.execute(cfg, timeout=10)
+        b = service.execute(cfg.replace(seed=2), timeout=10)
+        assert a is not b
+        assert executor.simulated == 2
+        assert service.stats()["dedup_coalesced"] == 0
+        assert service.drain(timeout=5)
+
+
+class TestTiering:
+    def test_simulate_then_memory_hit(self, cfg):
+        service = make_service()
+        first = service.execute(cfg, timeout=10)
+        again = service.execute(cfg, timeout=10)
+        assert first.tier == "simulated"
+        assert again.tier == "memory"
+        assert again.result is first.result
+        stats = service.stats()
+        assert stats["tiers"]["memory"] == 1
+        assert stats["tiers"]["hit_ratio"]["memory"] == 0.5
+        assert service.drain(timeout=5)
+
+    def test_disk_hit_populates_memory(self, tmp_path, cfg):
+        disk = DiskCache(tmp_path)
+        disk.put(cfg, fake_result(cfg))
+        executor = GateExecutor()
+        service = ExperimentService(
+            executor=executor, disk_cache=disk,
+            settings=ServiceSettings(batch_window_s=0.005),
+        ).start()
+        first = service.execute(cfg, timeout=10)
+        assert first.tier == "disk"
+        assert executor.simulated == 0
+        assert service.execute(cfg, timeout=10).tier == "memory"
+        assert service.stats()["disk_cache"]["hits"] == 1
+        assert service.drain(timeout=5)
+
+    def test_simulated_result_written_to_disk(self, tmp_path, cfg):
+        service = make_service(tmp_path=tmp_path)
+        service.execute(cfg, timeout=10)
+        assert service.disk_cache.writes == 1
+        assert len(service.disk_cache) == 1
+        assert service.drain(timeout=5)
+
+    def test_lru_eviction_visible_in_stats(self, cfg):
+        service = make_service(memory_entries=1)
+        service.execute(cfg, timeout=10)
+        service.execute(cfg.replace(seed=2), timeout=10)
+        stats = service.stats()
+        assert stats["memory_cache"]["evictions"] == 1
+        assert stats["memory_cache"]["size"] == 1
+        # The evicted config re-simulates; the resident one is a hit.
+        assert service.execute(cfg.replace(seed=2), timeout=10).tier == "memory"
+        assert service.execute(cfg, timeout=10).tier == "simulated"
+        assert service.drain(timeout=5)
+
+
+class TestBatching:
+    def test_queued_misses_coalesce_into_one_executor_batch(self, cfg):
+        executor = GateExecutor(hold=True)
+        service = make_service(executor=executor, batch_window_s=0.05)
+        tickets = [service.submit(cfg.replace(seed=i)) for i in range(4)]
+        executor.gate.set()
+        for t in tickets:
+            assert t.wait(10)
+        # One linger window collected all four distinct misses.
+        assert executor.batches and max(executor.batches) >= 2
+        assert sum(executor.batches) == 4
+        assert service.stats()["batches"] == len(executor.batches)
+        assert service.drain(timeout=5)
+
+    def test_batch_max_splits_oversized_batches(self, cfg):
+        executor = GateExecutor(hold=True)
+        service = make_service(executor=executor, batch_max=2,
+                               batch_window_s=0.05)
+        tickets = [service.submit(cfg.replace(seed=i)) for i in range(5)]
+        executor.gate.set()
+        for t in tickets:
+            assert t.wait(10)
+        assert max(executor.batches) <= 2
+        assert service.drain(timeout=5)
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_with_429_semantics(self, cfg):
+        executor = GateExecutor(hold=True)
+        service = make_service(executor=executor, queue_limit=1)
+        admitted = service.submit(cfg)
+        deadline = time.monotonic() + 5
+        while service.stats()["in_flight"] == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)  # wait for dispatch so outstanding == 1
+        with pytest.raises(QueueFullError) as exc_info:
+            service.submit(cfg.replace(seed=2))
+        assert exc_info.value.http_status == 429
+        assert exc_info.value.retry_after_s is not None
+        stats = service.stats()
+        assert stats["rejected_queue_full"] == 1
+        # Duplicates of the in-flight config still coalesce (no slot).
+        joined = service.submit(cfg)
+        assert joined is admitted
+        executor.gate.set()
+        assert admitted.wait(10)
+        assert service.drain(timeout=5)
+
+    def test_hits_are_admitted_even_at_capacity(self, cfg):
+        executor = GateExecutor(hold=True)
+        service = make_service(executor=executor, queue_limit=1)
+        warm = cfg.replace(seed=50)
+        service.memory.put(warm.cache_key(), fake_result(warm))
+        service.submit(cfg)
+        ticket = service.submit(warm)  # memory hit: no queue slot needed
+        assert ticket.done and ticket.tier == "memory"
+        executor.gate.set()
+        assert service.drain(timeout=5)
+
+    def test_execute_timeout(self, cfg):
+        executor = GateExecutor(hold=True)
+        service = make_service(executor=executor)
+        with pytest.raises(TimeoutError):
+            service.execute(cfg, timeout=0.05)
+        executor.gate.set()
+        assert service.drain(timeout=5)
+
+
+class TestDrain:
+    def test_draining_rejects_new_work_with_503_semantics(self, cfg):
+        service = make_service()
+        service.begin_drain()
+        with pytest.raises(DrainingError) as exc_info:
+            service.submit(cfg)
+        assert exc_info.value.http_status == 503
+        assert service.stats()["rejected_draining"] == 1
+        assert service.drain(timeout=5)
+
+    def test_in_flight_work_completes_during_drain(self, cfg):
+        executor = GateExecutor(hold=True)
+        service = make_service(executor=executor)
+        ticket = service.submit(cfg)
+        service.begin_drain()
+        assert not ticket.done
+        executor.gate.set()
+        assert service.drain(timeout=10)
+        assert ticket.done and ticket.result is not None
+        assert ticket.tier == "simulated"
+
+    def test_drain_timeout_reports_false(self, cfg):
+        executor = GateExecutor(hold=True)
+        service = make_service(executor=executor)
+        service.submit(cfg)
+        assert service.drain(timeout=0.1) is False
+        executor.gate.set()
+        assert service.wait_idle(timeout=10)
+
+    def test_drain_closes_the_journal(self, tmp_path, cfg):
+        journal = SweepJournal(tmp_path / "serve.jsonl")
+        service = ExperimentService(
+            executor=GateExecutor(), journal=journal,
+            settings=ServiceSettings(batch_window_s=0.005),
+        ).start()
+        service.execute(cfg, timeout=10)
+        assert service.drain(timeout=5)
+        assert journal._fh is None  # closed
+        lines = (tmp_path / "serve.jsonl").read_text().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["kind"] == "done"
+
+    def test_warm_start_seeds_the_memory_tier(self, tmp_path, cfg):
+        path = tmp_path / "serve.jsonl"
+        journal = SweepJournal(path)
+        journal.record_done(cfg.cache_key(), fake_result(cfg))
+        journal.close()
+        resumed = SweepJournal(path, resume=True)
+        service = ExperimentService(
+            executor=GateExecutor(),
+            settings=ServiceSettings(batch_window_s=0.005),
+        )
+        assert service.warm_start(resumed) == 1
+        service.start()
+        assert service.execute(cfg, timeout=10).tier == "memory"
+        resumed.close()
+        assert service.drain(timeout=5)
+
+
+class TestFailures:
+    def test_failed_simulation_is_not_cached(self, cfg):
+        executor = GateExecutor(fail=True)
+        service = make_service(executor=executor)
+        ticket = service.execute(cfg, timeout=10)
+        assert ticket.failure is not None
+        assert ticket.failure.error_type == "error"
+        assert service.stats()["failed"] == 1
+        assert len(service.memory) == 0
+        # The key is live again: a retry re-dispatches.
+        executor.fail = False
+        assert service.execute(cfg, timeout=10).result is not None
+        assert service.drain(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def http_server():
+    """An ExperimentServer on an ephemeral port over a GateExecutor."""
+    executor = GateExecutor()
+    service = ExperimentService(
+        executor=executor,
+        settings=ServiceSettings(batch_window_s=0.005, queue_limit=2,
+                                 request_timeout_s=20.0),
+    ).start()
+    httpd = ExperimentServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{httpd.port}", service, executor
+    finally:
+        service.begin_drain()
+        executor.gate.set()
+        service.wait_idle(timeout=10)
+        httpd.shutdown()
+        thread.join(timeout=10)
+        httpd.server_close()
+
+
+def http_request(url, body=None, timeout=20.0):
+    req = urllib.request.Request(
+        url,
+        data=None if body is None else json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+CONFIG_BODY = {"config": {"workload": "mixB", **FAST}}
+
+
+class TestHttpApi:
+    def test_healthz_stats_metrics(self, http_server):
+        base, service, _ = http_server
+        status, _, body = http_request(base + "/healthz")
+        assert (status, body["status"]) == (200, "ok")
+        status, _, stats = http_request(base + "/stats")
+        assert status == 200 and stats["queue_limit"] == 2
+        assert stats["executor"]["kind"] == "GateExecutor"
+        status, _, metrics = http_request(base + "/metrics")
+        assert status == 200
+        assert "serve.latency_ms" in metrics["quantiles"]
+        assert {"p50", "p95"} <= set(metrics["quantiles"]["serve.latency_ms"])
+
+    def test_run_round_trip_summary_and_payload(self, http_server):
+        base, service, _ = http_server
+        status, _, body = http_request(base + "/v1/run", CONFIG_BODY)
+        assert status == 200
+        assert body["tier"] == "simulated"
+        config = ExperimentConfig(**CONFIG_BODY["config"])
+        assert body["key"] == config.cache_key()
+        expected = fake_result(config)
+        assert body["result"]["watts"] == dict(WATTS)
+        assert body["summary"] == render_run_summary(config, expected)
+        status, _, body = http_request(base + "/v1/run", CONFIG_BODY)
+        assert status == 200 and body["tier"] == "memory"
+
+    def test_bad_config_is_400(self, http_server):
+        base, _, _ = http_server
+        for bad in (
+            {"config": {"workload": "mixB", "no_such_field": 1}},
+            {"config": {"workload": "mixB", "scale": "enormous"}},
+            {"config": {"workload": "mixB", "trace_path": "/tmp/x.jsonl"}},
+            ["not", "an", "object"],
+        ):
+            status, _, body = http_request(base + "/v1/run", bad)
+            assert status == 400, bad
+            assert "error" in body
+
+    def test_unknown_path_is_404(self, http_server):
+        base, _, _ = http_server
+        assert http_request(base + "/nope")[0] == 404
+        assert http_request(base + "/v1/nope", {"x": 1})[0] == 404
+
+    def test_queue_full_is_429_with_retry_after(self, http_server):
+        base, service, executor = http_server
+        executor.gate.clear()
+        threads = []
+        for seed in (11, 12):
+            body = {"config": dict(CONFIG_BODY["config"], seed=seed)}
+            t = threading.Thread(
+                target=http_request, args=(base + "/v1/run", body)
+            )
+            t.start()
+            threads.append(t)
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            stats = service.stats()
+            if stats["in_flight"] + stats["queue_depth"] >= 2:
+                break
+            time.sleep(0.005)
+        status, headers, body = http_request(
+            base + "/v1/run", {"config": dict(CONFIG_BODY["config"], seed=13)}
+        )
+        assert status == 429
+        assert headers.get("Retry-After")
+        assert body["error"]["kind"] == "rejected"
+        executor.gate.set()
+        for t in threads:
+            t.join(timeout=10)
+
+    def test_draining_is_503_on_health_and_run(self, http_server):
+        base, service, _ = http_server
+        service.begin_drain()
+        assert http_request(base + "/healthz")[0] == 503
+        status, _, body = http_request(base + "/v1/run", CONFIG_BODY)
+        assert status == 503
+        assert body["error"]["kind"] == "rejected"
+
+    def test_batch_endpoint_mixed_outcomes(self, http_server):
+        base, _, _ = http_server
+        payload = {
+            "configs": [
+                {"workload": "mixB", **FAST},
+                {"workload": "mixB", "seed": 2, **FAST},
+                {"workload": "mixB", **FAST},  # duplicate of the first
+            ]
+        }
+        status, _, body = http_request(base + "/v1/batch", payload)
+        assert status == 200
+        results = body["results"]
+        assert [r["status"] for r in results] == [200, 200, 200]
+        assert results[0]["key"] == results[2]["key"]
+        status, _, body = http_request(base + "/v1/batch", {"configs": "x"})
+        assert status == 400
+
+    def test_simulation_failure_maps_to_500(self):
+        executor = GateExecutor(fail=True)
+        service = ExperimentService(
+            executor=executor,
+            settings=ServiceSettings(batch_window_s=0.005),
+        ).start()
+        httpd = ExperimentServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, _, body = http_request(
+                f"http://127.0.0.1:{httpd.port}/v1/run", CONFIG_BODY
+            )
+            assert status == 500
+            assert body["error"]["kind"] == "error"
+            assert body["error"]["message"] == "boom"
+        finally:
+            service.drain(timeout=5)
+            httpd.shutdown()
+            thread.join(timeout=10)
+            httpd.server_close()
+
+
+class TestRealSimulationThroughService:
+    """One real (tiny) simulation through the full service stack."""
+
+    def test_served_result_matches_direct_run(self, tmp_path):
+        from repro.harness.experiment import run_experiment
+        from repro.harness.io import result_to_cache_dict
+
+        config = ExperimentConfig(workload="mixB", **FAST)
+        service = ExperimentService(
+            disk_cache=DiskCache(tmp_path),
+            settings=ServiceSettings(batch_window_s=0.005),
+        ).start()
+        ticket = service.execute(config, timeout=120)
+        assert ticket.tier == "simulated"
+        direct = run_experiment(config)
+        served = result_to_cache_dict(ticket.result)
+        expected = result_to_cache_dict(direct)
+        # Wall time is machine-dependent; everything else is
+        # deterministic and must match exactly.
+        served.pop("wall_time_s")
+        expected.pop("wall_time_s")
+        assert served == expected
+        assert service.drain(timeout=10)
