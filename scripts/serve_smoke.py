@@ -95,7 +95,10 @@ def main() -> int:
         print(f"[serve-smoke] server at {base}")
 
         status, _, body = request(base, "/healthz")
-        check(status == 200 and body["status"] == "ok", "healthz is 200/ok")
+        check(status == 200 and body["status"] == "healthy",
+              "healthz is 200/healthy")
+        check(body["live"] is True and body["ready"] is True,
+              "liveness and readiness probes are green")
 
         # 1. Single-flight dedup: N identical concurrent requests.
         n = 8

@@ -16,7 +16,11 @@ from typing import Dict
 from repro.network.topology import Topology
 from repro.power.hmc_power import DEFAULT_POWER_MODEL, HmcPowerModel
 
-__all__ = ["predict_full_power_breakdown", "predict_idle_io_fraction"]
+__all__ = [
+    "predict_full_power_breakdown",
+    "predict_idle_io_fraction",
+    "predict_experiment_result",
+]
 
 
 def _connected_endpoints(topology: Topology) -> int:
@@ -63,6 +67,57 @@ def predict_full_power_breakdown(
         "dram_leak": dram_leak / n,
         "dram_dyn": dram_dyn / n,
     }
+
+
+def predict_experiment_result(
+    config,
+    avg_link_utilization: float = 0.0,
+    accesses_per_ns: float = 0.0,
+    model: HmcPowerModel = DEFAULT_POWER_MODEL,
+):
+    """Closed-form prediction shaped like an ``ExperimentResult``.
+
+    Builds the config's topology exactly as the simulation harness
+    would (workload profile → address mapping → module count) but runs
+    **no simulation**: the power breakdown comes from
+    :func:`predict_full_power_breakdown` and every traffic-dependent
+    metric (throughput, latency, utilization, completion counters) is
+    zero. The serve layer's graceful-degradation path uses this to
+    answer requests when simulation capacity is unavailable; validation
+    code can diff it against a real run.
+
+    The returned object is a genuine
+    :class:`~repro.harness.experiment.ExperimentResult`, so it
+    serializes through the same code paths as a simulated one — the
+    caller is responsible for labeling it approximate.
+    """
+    # Imported here: analysis must stay importable without pulling the
+    # whole harness assembly pipeline in at module-import time.
+    from repro.harness.experiment import ExperimentResult
+    from repro.network.topology import build_topology
+    from repro.power.accounting import PowerBreakdown
+    from repro.workloads.mapping import make_mapping
+    from repro.workloads.profiles import get_profile
+
+    profile = get_profile(config.workload)
+    mapping = make_mapping(config.mapping, profile.footprint_gb, config.scale)
+    topology = build_topology(config.topology, mapping.num_modules)
+    watts = predict_full_power_breakdown(
+        topology, avg_link_utilization, accesses_per_ns, model
+    )
+    return ExperimentResult(
+        config=config,
+        num_modules=topology.num_modules,
+        breakdown=PowerBreakdown(watts=watts),
+        throughput_per_s=0.0,
+        avg_read_latency_ns=0.0,
+        max_read_latency_ns=0.0,
+        channel_utilization=avg_link_utilization,
+        link_utilization=avg_link_utilization,
+        avg_modules_traversed=topology.avg_depth,
+        completed_reads=0,
+        completed_writes=0,
+    )
 
 
 def predict_idle_io_fraction(

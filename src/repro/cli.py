@@ -399,6 +399,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="max seconds a SIGTERM drain waits for in-flight work "
              "(default: wait forever)")
     serve_p.add_argument(
+        "--socket-timeout", type=float, default=None, metavar="SECS",
+        help="per-connection socket timeout; must be >= the request "
+             "timeout (default: max(request timeout, 30))")
+    serve_p.add_argument(
+        "--degrade", choices=["off", "analytical"], default="off",
+        help="what a saturated queue or open circuit breaker answers "
+             "with: 'off' = hard 429/503, 'analytical' = HTTP 200 from "
+             "the closed-form power model, marked approximate "
+             "(default: off)")
+    serve_p.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="consecutive simulation failures that trip a config "
+             "family's circuit breaker; 0 disables breakers "
+             "(default: 5)")
+    serve_p.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECS",
+        help="seconds an open breaker waits before admitting a "
+             "half-open probe (default: 30)")
+    serve_p.add_argument(
+        "--heartbeat-s", type=float, default=1.0, metavar="SECS",
+        help="supervisor heartbeat interval for dispatcher/executor "
+             "health checks; 0 disables supervision (default: 1)")
+    serve_p.add_argument(
         "--verbose", action="store_true",
         help="log one line per HTTP request to stderr")
 
@@ -684,13 +707,21 @@ def _cmd_serve(args) -> int:
     journal = (
         SweepJournal(args.journal, resume=args.resume) if args.journal else None
     )
-    settings = ServiceSettings(
-        queue_limit=args.queue_limit,
-        memory_entries=args.memory_entries,
-        batch_window_s=args.batch_window_ms / 1000.0,
-        batch_max=args.batch_max,
-        request_timeout_s=args.request_timeout,
-    )
+    try:
+        settings = ServiceSettings(
+            queue_limit=args.queue_limit,
+            memory_entries=args.memory_entries,
+            batch_window_s=args.batch_window_ms / 1000.0,
+            batch_max=args.batch_max,
+            request_timeout_s=args.request_timeout,
+            socket_timeout_s=args.socket_timeout,
+            degrade=args.degrade,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
+            heartbeat_s=args.heartbeat_s,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     service = ExperimentService(
         executor=executor, disk_cache=disk, settings=settings, journal=journal
     )

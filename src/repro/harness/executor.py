@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Set, Union
 
 from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
@@ -52,6 +52,7 @@ __all__ = [
     "FailedResult",
     "ExperimentOutcome",
     "make_executor",
+    "with_heartbeat",
 ]
 
 
@@ -101,6 +102,17 @@ OnResult = Callable[[int, ExperimentConfig, ExperimentOutcome], None]
 #: Watchdog poll interval while timeouts are armed (seconds).
 _WATCHDOG_TICK_S = 0.05
 
+#: Poll interval for isolated-child result pipes while a heartbeat hook
+#: is attached (seconds) -- coarse, because each wake only exists to
+#: prove the watcher itself is alive.
+_HEARTBEAT_TICK_S = 0.5
+
+#: Heartbeat hook signature: receives a short event tag (``"tick"``,
+#: ``"task_start"``, ``"task_done"``, ``"worker_restart"``,
+#: ``"pool_rebuild"``).  Hooks are called from executor internals and
+#: must be cheap; exceptions they raise are swallowed.
+HeartbeatHook = Callable[[str], None]
+
 
 def _failed_from_exception(
     config: ExperimentConfig, exc: BaseException, attempts: int,
@@ -120,6 +132,21 @@ class Executor:
 
     #: Worker count, for display purposes.
     jobs: int = 1
+
+    #: Optional liveness hook (see :data:`HeartbeatHook`); the serve
+    #: layer's supervisor installs one via :func:`with_heartbeat` so a
+    #: wedged executor is distinguishable from a long simulation.
+    heartbeat: Optional[HeartbeatHook] = None
+
+    def _beat(self, event: str) -> None:
+        """Invoke the heartbeat hook, swallowing its failures."""
+        hook = getattr(self, "heartbeat", None)
+        if hook is None:
+            return
+        try:
+            hook(event)
+        except Exception:  # noqa: BLE001 - liveness must not break work
+            pass
 
     def run_many(
         self,
@@ -170,7 +197,10 @@ def _isolated_child(conn, config: ExperimentConfig) -> None:
 
 
 def _run_isolated(
-    config: ExperimentConfig, timeout_s: Optional[float], attempts: int
+    config: ExperimentConfig,
+    timeout_s: Optional[float],
+    attempts: int,
+    beat: Optional[HeartbeatHook] = None,
 ) -> ExperimentOutcome:
     """Run one experiment in a watched child process.
 
@@ -178,6 +208,9 @@ def _run_isolated(
     on the result pipe with the timeout as its watchdog: a child that
     hangs past the budget -- or dies without reporting -- is killed and
     recorded as a structured failure instead of wedging the caller.
+    The wait polls in short ticks (rather than one long ``poll``) so a
+    ``beat`` hook, when given, proves the watcher alive while a long
+    simulation runs.
     """
     import multiprocessing as mp
 
@@ -189,14 +222,28 @@ def _run_isolated(
     send.close()
     payload = None
     timed_out = False
+    deadline = None if timeout_s is None else start + timeout_s
     try:
-        if recv.poll(timeout_s):
-            payload = recv.recv()
-        else:
-            # poll() returning False is the *only* timeout signal; a
-            # dying child closes the pipe, which makes poll() return
-            # True and recv() raise EOFError (the crash path below).
-            timed_out = True
+        while True:
+            tick = _HEARTBEAT_TICK_S
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    # Waits exhausted without the pipe turning readable:
+                    # the *only* timeout signal (a dying child closes
+                    # the pipe, which makes poll() return True and
+                    # recv() raise EOFError -- the crash path below).
+                    timed_out = True
+                    break
+                tick = min(tick, remaining)
+            if recv.poll(tick):
+                payload = recv.recv()
+                break
+            if beat is not None:
+                try:
+                    beat("tick")
+                except Exception:  # noqa: BLE001 - liveness only
+                    pass
     except (EOFError, OSError):
         payload = None
     wall = time.perf_counter() - start
@@ -256,6 +303,9 @@ class SerialExecutor(Executor):
     retries: int = 0
     backoff_s: float = 0.25
     isolate: bool = False
+    heartbeat: Optional[HeartbeatHook] = field(
+        default=None, compare=False, repr=False
+    )
 
     def run_many(
         self,
@@ -275,24 +325,33 @@ class SerialExecutor(Executor):
         attempts = 0
         while True:
             attempts += 1
+            self._beat("task_start")
             if isolated:
-                outcome = _run_isolated(config, self.timeout_s, attempts)
+                outcome = _run_isolated(
+                    config, self.timeout_s, attempts, beat=self.heartbeat
+                )
             else:
                 start = time.perf_counter()
                 try:
-                    return run_experiment(config)
+                    result = run_experiment(config)
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except Exception as exc:
+                    self._beat("task_done")
                     return _failed_from_exception(
                         config, exc, attempts, time.perf_counter() - start
                     )
+                self._beat("task_done")
+                return result
+            self._beat("task_done")
             retryable = (
                 isinstance(outcome, FailedResult)
                 and outcome.error_type in ("crash", "timeout")
             )
             if not retryable or attempts > self.retries:
                 return outcome
+            # The dead/hung child is being replaced with a fresh one.
+            self._beat("worker_restart")
             time.sleep(self.backoff_s * attempts)
 
 
@@ -326,6 +385,9 @@ class ParallelExecutor(Executor):
     timeout_s: Optional[float] = None
     retries: int = 0
     backoff_s: float = 0.25
+    heartbeat: Optional[HeartbeatHook] = field(
+        default=None, compare=False, repr=False
+    )
 
     def run_many(
         self,
@@ -344,6 +406,7 @@ class ParallelExecutor(Executor):
                 retries=self.retries,
                 backoff_s=self.backoff_s,
                 isolate=True,
+                heartbeat=self.heartbeat,
             )
             return serial.run_many(configs, on_result=on_result)
 
@@ -363,6 +426,9 @@ class ParallelExecutor(Executor):
             if not retry:
                 break
             rebuilds += 1
+            # Survivors get a fresh pool (or isolated adjudication):
+            # worker processes were lost, not just slow.
+            self._beat("pool_rebuild")
             next_pending: List[int] = []
             for index in retry:
                 if attempts[index] <= self.retries and rebuilds <= max_rebuilds:
@@ -378,7 +444,8 @@ class ParallelExecutor(Executor):
                 emit(
                     index,
                     _run_isolated(
-                        configs[index], self.timeout_s, attempts[index]
+                        configs[index], self.timeout_s, attempts[index],
+                        beat=self.heartbeat,
                     ),
                 )
             if next_pending:
@@ -439,11 +506,15 @@ class ParallelExecutor(Executor):
             queued.reverse()  # pop() from the tail = FIFO
             unfinished = set(index_of)
             lost_workers = 0
+            # The bounded wait exists for the timeout watchdog and for
+            # heartbeating; with neither armed, block until completion.
+            armed = self.timeout_s is not None or self.heartbeat is not None
             while unfinished:
-                tick = _WATCHDOG_TICK_S if self.timeout_s is not None else None
+                tick = _WATCHDOG_TICK_S if armed else None
                 done, _ = wait(unfinished, timeout=tick,
                                return_when=FIRST_COMPLETED)
                 now = time.monotonic()
+                self._beat("tick")
                 for fut in done:
                     unfinished.discard(fut)
                     index = index_of[fut]
@@ -478,6 +549,7 @@ class ParallelExecutor(Executor):
                         attempts[index] += 1
                     resolved.add(index)
                     emit(index, outcome)
+                    self._beat("task_done")
                     if freed_slot and queued and not broke:
                         started_at[queued.pop()] = now
                 if broke:
@@ -568,5 +640,26 @@ def make_executor(
             isolate=timeout_s is not None,
         )
     return ParallelExecutor(jobs=jobs, timeout_s=timeout_s, retries=retries)
+
+
+def with_heartbeat(executor: Executor, hook: Optional[HeartbeatHook]) -> Executor:
+    """Attach a heartbeat hook to an executor, preserving its behavior.
+
+    The stock executors are frozen dataclasses, so attaching returns a
+    ``dataclasses.replace`` copy (identical in every compared field --
+    cache keys and equality are unaffected because ``heartbeat`` is
+    excluded from comparison).  Third-party executors get the hook set
+    as a plain attribute when possible; an executor that cannot accept
+    one is returned unchanged -- heartbeating is strictly optional.
+    """
+    if hook is None:
+        return executor
+    if isinstance(executor, (SerialExecutor, ParallelExecutor)):
+        return replace(executor, heartbeat=hook)
+    try:
+        executor.heartbeat = hook
+    except (AttributeError, TypeError):
+        pass
+    return executor
 
 

@@ -22,6 +22,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "StateGauge",
     "MetricsRegistry",
     "EpochLinkMetrics",
 ]
@@ -122,6 +123,50 @@ class Histogram:
         }
 
 
+class StateGauge:
+    """A gauge constrained to an ordered, finite set of named states.
+
+    Components with a small state machine (the serve supervisor's
+    ``healthy | degraded | draining | unhealthy``, a circuit breaker's
+    ``closed | open | half_open``) export both the human-readable state
+    string and a stable numeric value (the state's index in ``states``)
+    so dashboards can graph transitions without string parsing.
+    """
+
+    __slots__ = ("name", "states", "state")
+
+    def __init__(self, name: str, states: Sequence[str]) -> None:
+        if not states or len(set(states)) != len(states):
+            raise ValueError(
+                f"state gauge {name}: states must be non-empty and unique"
+            )
+        self.name = name
+        self.states = tuple(states)
+        self.state = self.states[0]
+
+    def set_state(self, state: str) -> None:
+        """Record the current state (must be one of ``states``)."""
+        if state not in self.states:
+            raise ValueError(
+                f"state gauge {self.name}: unknown state {state!r} "
+                f"(expected one of {self.states})"
+            )
+        self.state = state
+
+    @property
+    def value(self) -> float:
+        """The current state's index in ``states`` (as a float)."""
+        return float(self.states.index(self.state))
+
+    def as_dict(self) -> Dict:
+        """JSON-safe summary: current state, numeric value, state set."""
+        return {
+            "state": self.state,
+            "value": self.value,
+            "states": list(self.states),
+        }
+
+
 class MetricsRegistry:
     """Creates, owns, and snapshots counters/gauges/histograms.
 
@@ -133,6 +178,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._states: Dict[str, StateGauge] = {}
         self.epochs: List[Dict] = []
         self._last_totals: Dict[str, float] = {}
 
@@ -156,6 +202,13 @@ class MetricsRegistry:
         if h is None:
             h = self._histograms[name] = Histogram(name, edges)
         return h
+
+    def state_gauge(self, name: str, states: Sequence[str]) -> StateGauge:
+        """Get or create the state gauge called ``name`` over ``states``."""
+        s = self._states.get(name)
+        if s is None:
+            s = self._states[name] = StateGauge(name, states)
+        return s
 
     def mark_epoch(self, t: float) -> Dict:
         """Close an epoch: snapshot totals, gauges, and counter deltas.
@@ -185,6 +238,7 @@ class MetricsRegistry:
             "histograms": {
                 n: h.as_dict() for n, h in self._histograms.items()
             },
+            "states": {n: s.as_dict() for n, s in self._states.items()},
             "epochs": self.epochs,
         }
 

@@ -18,9 +18,34 @@ while draining), graceful SIGTERM drain, and ``/healthz`` / ``/stats``
 / ``/metrics`` endpoints wired into the observability layer's
 :class:`~repro.obs.metrics.MetricsRegistry`.
 
-See docs/serving.md for the API schema and worked examples.
+The self-healing layer sits on top: a
+:class:`~repro.serve.supervisor.Supervisor` heartbeat-checks the
+dispatcher and executor and restarts them with capped, deterministic
+backoff; per-config-family circuit breakers
+(:class:`~repro.serve.breaker.BreakerBoard`) short-circuit families
+that keep failing; and graceful degradation
+(:mod:`repro.serve.degrade`) answers saturation and open breakers with
+the closed-form analytical power model -- a 200 marked
+``"approximate": true`` -- instead of an error.
+
+See docs/serving.md for the API schema and worked examples, and
+docs/resilience.md for supervision semantics.
 """
 
+from repro.serve.breaker import (
+    BreakerBoard,
+    BreakerDecision,
+    BreakerOpenError,
+    CircuitBreaker,
+    config_family,
+)
+from repro.serve.degrade import (
+    DEGRADE_MODES,
+    DegradedResult,
+    degraded_json,
+    degraded_payload,
+    make_degraded_result,
+)
 from repro.serve.http import ExperimentServer, ServeHandler, run_server
 from repro.serve.lru import LruResultCache
 from repro.serve.service import (
@@ -32,9 +57,16 @@ from repro.serve.service import (
     RequestTicket,
     ServiceSettings,
 )
+from repro.serve.supervisor import SERVICE_STATES, Supervisor, backoff_delay
 
 __all__ = [
     "AdmissionError",
+    "BreakerBoard",
+    "BreakerDecision",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "DEGRADE_MODES",
+    "DegradedResult",
     "DrainingError",
     "ExperimentServer",
     "ExperimentService",
@@ -42,7 +74,13 @@ __all__ = [
     "LruResultCache",
     "QueueFullError",
     "RequestTicket",
+    "SERVICE_STATES",
     "ServeHandler",
     "ServiceSettings",
-    "run_server",
+    "Supervisor",
+    "backoff_delay",
+    "config_family",
+    "degraded_json",
+    "degraded_payload",
+    "make_degraded_result",
 ]

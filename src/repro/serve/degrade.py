@@ -1,0 +1,132 @@
+"""Analytical-model graceful degradation for the experiment service.
+
+When the service cannot simulate a request right now — the admission
+queue is saturated, or the config family's circuit breaker is open —
+the alternative to a hard 429/503 is an *approximate* answer from the
+closed-form full-power model
+(:func:`repro.analysis.power_model.predict_full_power_breakdown`).
+The prediction is purely structural (zero traffic assumed), so it is
+instant, deterministic, and carries the model's declared accuracy
+envelope from the validation subsystem so clients can judge whether
+"approximately right now" beats "exactly right later".
+
+Three properties the chaos tests pin:
+
+* the degraded breakdown equals ``predict_full_power_breakdown(
+  topology, 0.0, 0.0)`` **exactly** — no extra arithmetic between the
+  model and the response;
+* the response JSON is byte-stable for a given config (sorted keys,
+  no timestamps, no randomness);
+* degraded results never land in any cache tier — only the simulated
+  path writes the LRU, the disk cache, or the journal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
+from repro.harness.io import result_to_cache_dict
+from repro.validation.checks import LOGIC_DYN_RATIO_BOUNDS, REL_DIFFERENTIAL
+
+__all__ = [
+    "DEGRADE_MODES",
+    "DEGRADE_REASONS",
+    "ANALYTICAL_TOLERANCE",
+    "DegradedResult",
+    "make_degraded_result",
+    "degraded_payload",
+    "degraded_json",
+]
+
+#: Supported ``--degrade`` modes: ``off`` keeps PR-7 behavior (429 on
+#: saturation, 503 on open breaker); ``analytical`` substitutes the
+#: closed-form model.
+DEGRADE_MODES = ("off", "analytical")
+
+#: The reasons a response can be degraded.
+DEGRADE_REASONS = ("queue_full", "breaker_open")
+
+#: The analytical model's declared accuracy envelope, straight from the
+#: validation subsystem's differential checks: every category except
+#: ``logic_dyn`` is predicted with no modeling gap (relative tolerance
+#: :data:`~repro.validation.checks.REL_DIFFERENTIAL` vs. a simulation
+#: of the same utilization/access rate), while ``logic_dyn`` carries
+#: the asymmetric simulated/predicted ratio band
+#: :data:`~repro.validation.checks.LOGIC_DYN_RATIO_BOUNDS`.
+ANALYTICAL_TOLERANCE: Dict = {
+    "relative": REL_DIFFERENTIAL,
+    "logic_dyn_ratio_bounds": list(LOGIC_DYN_RATIO_BOUNDS),
+    "source": "validation.check_differential_power",
+}
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """An analytical answer standing in for a simulation.
+
+    Carries the same :class:`~repro.harness.experiment.ExperimentResult`
+    shape a simulation would produce, plus the metadata that marks it
+    approximate. Instances live only on the request ticket that created
+    them — the cache-writing path (`_finish_simulated`) never sees one,
+    which is what structurally guarantees degraded results stay out of
+    every cache tier.
+    """
+
+    config: ExperimentConfig
+    key: str
+    reason: str
+    result: ExperimentResult
+    tolerance: Dict = field(default_factory=lambda: dict(ANALYTICAL_TOLERANCE))
+
+    def __post_init__(self) -> None:
+        if self.reason not in DEGRADE_REASONS:
+            raise ValueError(
+                f"unknown degraded reason {self.reason!r} "
+                f"(expected one of {DEGRADE_REASONS})"
+            )
+
+
+def make_degraded_result(
+    config: ExperimentConfig, key: str, reason: str
+) -> DegradedResult:
+    """Build the analytical stand-in for ``config``.
+
+    The prediction uses zero utilization and zero access rate — the
+    pure structural full-power answer — so smoke tests can assert the
+    breakdown matches ``predict_full_power_breakdown(topology, 0.0,
+    0.0)`` with ``==``, not approximately.
+    """
+    from repro.analysis.power_model import predict_experiment_result
+
+    result = predict_experiment_result(
+        config, avg_link_utilization=0.0, accesses_per_ns=0.0
+    )
+    return DegradedResult(config=config, key=key, reason=reason, result=result)
+
+
+def degraded_payload(degraded: DegradedResult) -> Dict:
+    """The HTTP response body for a degraded answer (JSON-safe).
+
+    Shaped like the simulated-response body (``key``/``tier``/
+    ``result``) so clients parse both the same way, with the degraded
+    extras alongside: ``approximate`` is always True, ``degraded_reason``
+    says why simulation was skipped, and ``tolerance`` is the model's
+    accuracy envelope. Contains nothing time- or process-dependent, so
+    serializing it with sorted keys is byte-stable across runs.
+    """
+    return {
+        "key": degraded.key,
+        "tier": "degraded",
+        "approximate": True,
+        "degraded_reason": degraded.reason,
+        "tolerance": dict(degraded.tolerance),
+        "result": result_to_cache_dict(degraded.result),
+    }
+
+
+def degraded_json(degraded: DegradedResult) -> str:
+    """Canonical byte-stable JSON encoding of a degraded response."""
+    return json.dumps(degraded_payload(degraded), sort_keys=True)

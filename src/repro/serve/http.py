@@ -2,7 +2,11 @@
 
 Endpoints (see docs/serving.md for the full schema):
 
-* ``GET /healthz`` -- liveness; 200 while serving, 503 while draining;
+* ``GET /healthz`` -- the supervisor's health state machine; 200 while
+  ``healthy`` or ``degraded``, 503 while ``draining`` or ``unhealthy``;
+* ``GET /healthz/live`` -- liveness probe: 200 unless ``unhealthy``;
+* ``GET /healthz/ready`` -- readiness probe: 200 only while the service
+  should receive traffic (``healthy`` / ``degraded``);
 * ``GET /stats`` -- the service counters (tiers, dedup, queue, latency);
 * ``GET /metrics`` -- the raw :class:`~repro.obs.metrics.MetricsRegistry`
   dump plus p50/p95 quantiles of the latency histogram;
@@ -15,10 +19,14 @@ Endpoints (see docs/serving.md for the full schema):
   while the rest proceed).
 
 Backpressure maps to HTTP statuses: 429 + ``Retry-After`` when the
-bounded simulation queue is full, 503 while draining, 504 when a
-request exceeds its wait budget, 500 for structured simulation
-failures.  :func:`run_server` wires SIGTERM/SIGINT to a graceful drain:
-stop admitting, finish in-flight work, flush the journal, then exit 0.
+bounded simulation queue is full, 503 while draining or when a config
+family's circuit breaker is open, 504 when a request exceeds its wait
+budget, 500 for structured simulation failures.  With ``--degrade
+analytical`` the 429/breaker-503 cases instead answer 200 with an
+analytical-model body marked ``"approximate": true`` (see
+:mod:`repro.serve.degrade`).  :func:`run_server` wires SIGTERM/SIGINT
+to a graceful drain: stop admitting, finish in-flight work, flush the
+journal, then exit 0.
 
 Configs that ask for server-side file side effects (``trace_path``,
 ``metrics_path``) are rejected with 400: the service answers queries,
@@ -37,6 +45,7 @@ from typing import Dict, Optional, Tuple
 from repro.harness.executor import FailedResult
 from repro.harness.io import config_from_dict, result_to_cache_dict
 from repro.harness.report import render_run_summary
+from repro.serve.degrade import degraded_payload
 from repro.serve.service import (
     AdmissionError,
     ExperimentService,
@@ -76,6 +85,9 @@ def _ticket_payload(ticket: RequestTicket) -> Tuple[int, Dict]:
         return ticket.rejection.http_status, {
             "error": {"kind": "rejected", "message": str(ticket.rejection)}
         }
+    if ticket.degraded is not None:
+        # Analytical stand-in: still a 200, explicitly approximate.
+        return 200, degraded_payload(ticket.degraded)
     if ticket.failure is not None:
         failure: FailedResult = ticket.failure
         return 500, {
@@ -104,10 +116,20 @@ class ServeHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     #: Socket read budget: a keep-alive connection whose client went
     #: away closes itself instead of pinning a handler thread through
-    #: drain (handler threads are joined on close).
-    timeout = 30
+    #: drain (handler threads are joined on close).  This class default
+    #: is a fallback only -- :meth:`setup` overrides it per connection
+    #: with ``ServiceSettings.effective_socket_timeout_s``, which is
+    #: validated to never undercut ``request_timeout_s``.
+    timeout = 30.0
 
     # -- plumbing ------------------------------------------------------
+    def setup(self) -> None:
+        """Apply the service-configured socket timeout per connection."""
+        service = getattr(self.server, "service", None)
+        if service is not None:
+            self.timeout = service.settings.effective_socket_timeout_s
+        super().setup()
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Per-request access log line (stderr; silenced with --quiet)."""
         if getattr(self.server, "verbose", False):
@@ -144,12 +166,23 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # -- GET endpoints -------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Serve /healthz, /stats, and /metrics."""
+        """Serve /healthz (plus /live and /ready), /stats, /metrics."""
         if self.path == "/healthz":
-            if self.service.draining:
-                self._send_json(503, {"status": "draining"})
-            else:
-                self._send_json(200, {"status": "ok"})
+            health = self.service.health()
+            ok = health["status"] in ("healthy", "degraded")
+            self._send_json(200 if ok else 503, health)
+        elif self.path == "/healthz/live":
+            health = self.service.health()
+            self._send_json(
+                200 if health["live"] else 503,
+                {"live": health["live"], "status": health["status"]},
+            )
+        elif self.path == "/healthz/ready":
+            health = self.service.health()
+            self._send_json(
+                200 if health["ready"] else 503,
+                {"ready": health["ready"], "status": health["status"]},
+            )
         elif self.path == "/stats":
             self._send_json(200, self.service.stats())
         elif self.path == "/metrics":

@@ -23,17 +23,39 @@ __all__ = ["LruResultCache"]
 
 
 class LruResultCache:
-    """Thread-safe LRU mapping of cache keys to experiment results."""
+    """Thread-safe LRU mapping of cache keys to experiment results.
+
+    ``capacity`` is fixed at construction -- the eviction loop, the
+    ``/stats`` payload, and the admission math all assume it never
+    moves, so mutating it afterwards raises ``AttributeError``.
+    Counters come in two flavors: ``hits`` / ``misses`` / ``evictions``
+    are resettable window stats (:meth:`reset_stats`), while
+    ``inserts`` is monotonic for the cache's lifetime so ``/stats``
+    deltas survive a warm-start that pre-populates the tier.
+    """
 
     def __init__(self, capacity: int = 512) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
-        self.capacity = capacity
+        self._capacity = capacity
         self._entries: "OrderedDict[str, ExperimentResult]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.inserts = 0
+
+    @property
+    def capacity(self) -> int:
+        """The fixed entry bound chosen at construction."""
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value: int) -> None:
+        raise AttributeError(
+            "LruResultCache capacity is fixed at construction; "
+            "build a new cache to resize"
+        )
 
     def get(self, key: str) -> Optional[ExperimentResult]:
         """The cached result for ``key`` (refreshing recency), or None."""
@@ -48,15 +70,28 @@ class LruResultCache:
 
     def put(self, key: str, result: ExperimentResult) -> None:
         """Store ``result`` under ``key``, evicting LRU entries past capacity."""
-        if self.capacity == 0:
+        if self._capacity == 0:
             return
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = result
-            while len(self._entries) > self.capacity:
+            self.inserts += 1
+            while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+
+    def reset_stats(self) -> None:
+        """Zero the window counters (hits/misses/evictions).
+
+        ``inserts`` is deliberately untouched: it is the monotonic
+        lifetime counter that lets ``/stats`` consumers compute deltas
+        across warm-starts and stat resets.
+        """
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         """Number of live entries."""
@@ -64,12 +99,14 @@ class LruResultCache:
             return len(self._entries)
 
     def stats(self) -> Dict[str, int]:
-        """JSON-safe counters: size, capacity, hits, misses, evictions."""
+        """JSON-safe counters: size, capacity, hits, misses, evictions,
+        and the monotonic insert total."""
         with self._lock:
             return {
                 "size": len(self._entries),
-                "capacity": self.capacity,
+                "capacity": self._capacity,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "inserts": self.inserts,
             }

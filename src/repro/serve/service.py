@@ -26,11 +26,21 @@ behaviours a shared simulator needs:
 * **observability** -- every counter is mirrored into a
   :class:`~repro.obs.metrics.MetricsRegistry` (``serve.*`` namespace,
   latency histogram included) and :meth:`ExperimentService.stats`
-  returns the JSON payload the ``/stats`` endpoint serves.
+  returns the JSON payload the ``/stats`` endpoint serves;
+* **self-healing** -- a :class:`~repro.serve.supervisor.Supervisor`
+  heartbeat-checks the dispatcher thread and the executor pool and
+  restarts whichever hangs or dies; per-config-family
+  :class:`~repro.serve.breaker.CircuitBreaker`\\ s short-circuit
+  families that keep failing; and with ``degrade="analytical"``, a
+  saturated queue or open breaker answers with the closed-form power
+  model (``"approximate": true``) instead of an error -- see
+  :mod:`repro.serve.degrade`.
 
 Results a simulation produces are written back to both cache tiers (and
 the journal, when attached), so a repeat request is a memory-tier hit
-and a restarted server warms from disk.
+and a restarted server warms from disk.  Degraded (analytical) answers
+are **never** written to any tier: only :meth:`_finish_simulated`
+touches the caches, and degraded tickets never reach it.
 """
 
 from __future__ import annotations
@@ -47,11 +57,18 @@ from repro.harness.executor import (
     ExperimentOutcome,
     FailedResult,
     SerialExecutor,
+    with_heartbeat,
 )
 from repro.harness.experiment import ExperimentConfig, ExperimentResult
 from repro.harness.journal import SweepJournal
 from repro.obs.metrics import MetricsRegistry
+from repro.serve.degrade import (
+    DEGRADE_MODES,
+    DegradedResult,
+    make_degraded_result,
+)
 from repro.serve.lru import LruResultCache
+from repro.serve.supervisor import Supervisor
 
 __all__ = [
     "AdmissionError",
@@ -106,6 +123,23 @@ class ServiceSettings:
     misses coalesce into one executor batch of up to ``batch_max``
     configs.  ``request_timeout_s`` is the default budget
     :meth:`ExperimentService.execute` waits for a ticket.
+
+    Self-healing knobs: ``degrade`` selects what a saturated queue or
+    open breaker answers with (``"off"`` = hard 429/503, ``"analytical"``
+    = closed-form model); ``breaker_threshold`` consecutive structured
+    failures trip a config family's breaker for ``breaker_cooldown_s``
+    (0 disables breakers); ``heartbeat_s`` paces the supervisor (0
+    disables supervision), with staleness, restart-budget, and backoff
+    shaping via ``stale_after_s`` (None = 10 heartbeats),
+    ``max_restarts``, ``backoff_base_s`` / ``backoff_cap_s`` /
+    ``backoff_jitter_s``, and ``supervisor_seed`` (deterministic
+    jitter).
+
+    ``socket_timeout_s`` is the per-connection socket timeout the HTTP
+    handler applies; the default (None) resolves to
+    ``max(request_timeout_s, 30.0)`` and an explicit value below
+    ``request_timeout_s`` is rejected so the socket can never time out
+    before the request deadline does.
     """
 
     queue_limit: int = 64
@@ -113,15 +147,72 @@ class ServiceSettings:
     batch_window_s: float = 0.01
     batch_max: int = 16
     request_timeout_s: float = 600.0
+    socket_timeout_s: Optional[float] = None
+    degrade: str = "off"
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 30.0
+    heartbeat_s: float = 1.0
+    stale_after_s: Optional[float] = None
+    max_restarts: int = 5
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 30.0
+    backoff_jitter_s: float = 0.05
+    supervisor_seed: int = 0
+    degraded_hold_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.degrade not in DEGRADE_MODES:
+            raise ValueError(
+                f"degrade must be one of {DEGRADE_MODES}, got {self.degrade!r}"
+            )
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be > 0, got {self.breaker_cooldown_s}"
+            )
+        if self.heartbeat_s < 0:
+            raise ValueError(
+                f"heartbeat_s must be >= 0, got {self.heartbeat_s}"
+            )
+        if self.socket_timeout_s is not None:
+            if self.socket_timeout_s <= 0:
+                raise ValueError(
+                    f"socket_timeout_s must be > 0, got {self.socket_timeout_s}"
+                )
+            if self.socket_timeout_s < self.request_timeout_s:
+                raise ValueError(
+                    f"socket_timeout_s ({self.socket_timeout_s:g}s) must not "
+                    f"be below request_timeout_s "
+                    f"({self.request_timeout_s:g}s): the socket would time "
+                    f"out before the request deadline"
+                )
+
+    @property
+    def effective_socket_timeout_s(self) -> float:
+        """The socket timeout the HTTP layer applies per connection.
+
+        ``socket_timeout_s`` when set; otherwise the request deadline
+        with a 30 s floor, so short request budgets still tolerate slow
+        clients.
+        """
+        if self.socket_timeout_s is not None:
+            return self.socket_timeout_s
+        return max(self.request_timeout_s, 30.0)
 
 
 class RequestTicket:
     """One admitted request (and everyone coalesced onto it).
 
-    Exactly one of ``result`` / ``failure`` / ``rejection`` is set when
-    :meth:`done` becomes True.  ``tier`` records which layer answered:
-    ``"memory"``, ``"disk"``, or ``"simulated"`` (also set on
-    failures).
+    Exactly one of ``result`` / ``failure`` / ``rejection`` /
+    ``degraded`` is set when :meth:`done` becomes True.  ``tier``
+    records which layer answered: ``"memory"``, ``"disk"``,
+    ``"simulated"`` (also set on failures), or ``"degraded"`` when the
+    analytical model answered in place of a simulation.
+    ``breaker_probe`` marks the single request a half-open circuit
+    breaker admitted to test its family.
     """
 
     def __init__(self, key: str, config: ExperimentConfig) -> None:
@@ -133,6 +224,8 @@ class RequestTicket:
         self.result: Optional[ExperimentResult] = None
         self.failure: Optional[FailedResult] = None
         self.rejection: Optional[AdmissionError] = None
+        self.degraded: Optional[DegradedResult] = None
+        self.breaker_probe = False
         self._event = threading.Event()
 
     @property
@@ -165,13 +258,48 @@ class ExperimentService:
         settings: Optional[ServiceSettings] = None,
         journal: Optional[SweepJournal] = None,
         registry: Optional[MetricsRegistry] = None,
+        breakers=None,
+        supervisor: Optional[Supervisor] = None,
     ) -> None:
-        self.executor = executor if executor is not None else SerialExecutor()
-        self.disk_cache = disk_cache
+        # Imported here, not at module top: breaker.py imports this
+        # module for AdmissionError, so the reverse import must be lazy.
+        from repro.serve.breaker import BreakerBoard
+
         self.settings = settings if settings is not None else ServiceSettings()
+        self.disk_cache = disk_cache
         self.journal = journal
         self.registry = registry if registry is not None else MetricsRegistry()
         self.memory = LruResultCache(self.settings.memory_entries)
+        base_executor = executor if executor is not None else SerialExecutor()
+        #: The executor, wrapped so worker activity heartbeats the
+        #: supervisor (a no-op wrapper when supervision is disabled).
+        self.executor = with_heartbeat(base_executor, self._executor_beat)
+        #: Per-config-family circuit breakers (injectable for tests).
+        self.breakers = (
+            breakers
+            if breakers is not None
+            else BreakerBoard(
+                threshold=self.settings.breaker_threshold,
+                cooldown_s=self.settings.breaker_cooldown_s,
+                registry=self.registry,
+            )
+        )
+        #: Component watchdog; None when ``heartbeat_s`` is 0.
+        self.supervisor = supervisor
+        if supervisor is None and self.settings.heartbeat_s > 0:
+            self.supervisor = Supervisor(
+                registry=self.registry,
+                heartbeat_s=self.settings.heartbeat_s,
+                stale_after_s=self.settings.stale_after_s,
+                max_restarts=self.settings.max_restarts,
+                backoff_base_s=self.settings.backoff_base_s,
+                backoff_cap_s=self.settings.backoff_cap_s,
+                jitter_s=self.settings.backoff_jitter_s,
+                seed=self.settings.supervisor_seed,
+                degraded_hold_s=self.settings.degraded_hold_s,
+            )
+        if self.supervisor is not None:
+            self.supervisor.add_context(self._breaker_context)
 
         self._cond = threading.Condition()
         #: Live (unresolved) tickets by cache key -- the single-flight map.
@@ -182,6 +310,14 @@ class ExperimentService:
         self._draining = False
         self._started_at = time.monotonic()
         self._dispatcher: Optional[threading.Thread] = None
+        #: Dispatcher restart epoch: a restarted dispatcher bumps this,
+        #: and callbacks from an older generation are discarded.
+        self._generation = 0
+        #: Tickets handed to the executor by the *current* generation.
+        self._dispatching: List[RequestTicket] = []
+        #: Test hook: when set to an Event, the dispatcher blocks on it
+        #: at the top of its loop -- how chaos tests simulate a hang.
+        self._test_hang: Optional[threading.Event] = None
         self._latencies_ms: Deque[float] = deque(maxlen=2048)
         self._latency_hist = self.registry.histogram(
             "serve.latency_ms", LATENCY_EDGES_MS
@@ -189,16 +325,96 @@ class ExperimentService:
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "ExperimentService":
-        """Start the batch dispatcher thread (idempotent); returns self."""
+        """Start the dispatcher thread and supervisor (idempotent)."""
         with self._cond:
             if self._dispatcher is None:
-                self._dispatcher = threading.Thread(
-                    target=self._dispatch_loop,
-                    name="serve-dispatcher",
-                    daemon=True,
-                )
-                self._dispatcher.start()
+                self._spawn_dispatcher_locked()
+        if self.supervisor is not None:
+            self.supervisor.register(
+                "dispatcher",
+                alive=self._dispatcher_alive,
+                restart=self._restart_dispatcher,
+            )
+            self.supervisor.register(
+                "executor",
+                alive=lambda: True,
+                restart=self._executor_stalled,
+                armed=lambda: self._in_flight > 0,
+            )
+            self.supervisor.start()
         return self
+
+    def _spawn_dispatcher_locked(self) -> None:
+        """Start a dispatcher thread for the current generation."""
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            args=(self._generation,),
+            name=f"serve-dispatcher-{self._generation}",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    def _dispatcher_alive(self) -> bool:
+        """Supervisor liveness probe for the dispatcher thread."""
+        thread = self._dispatcher
+        return thread is not None and thread.is_alive()
+
+    def _restart_dispatcher(self) -> None:
+        """Replace the dispatcher thread (supervisor restart callback).
+
+        Bumps the generation so the old thread -- and any executor
+        callbacks it still owns -- are discarded, re-queues every
+        unresolved ticket the old generation had dispatched (at the
+        front, preserving admission order), and spawns a fresh thread.
+        Admitted requests are therefore never dropped: their tickets
+        simply ride the next generation's batches.
+        """
+        with self._cond:
+            self._generation += 1
+            stale = [t for t in self._dispatching if not t.done]
+            self._dispatching = []
+            for ticket in reversed(stale):
+                self._queue.appendleft(ticket)
+            self._in_flight -= len(stale)
+            self.registry.gauge("serve.in_flight").set(self._in_flight)
+            self.registry.gauge("serve.queue_depth").set(len(self._queue))
+            self._spawn_dispatcher_locked()
+            self._cond.notify_all()
+
+    def _executor_stalled(self) -> None:
+        """Supervisor restart callback for a stale executor pool.
+
+        The pool itself is rebuilt per batch by
+        :class:`~repro.harness.executor.ParallelExecutor`'s own
+        containment, so there is nothing to re-create here; the restart
+        exists so repeated stalls consume the restart budget and
+        escalate the service to ``unhealthy``.
+        """
+        self._bump_unlocked("serve.supervisor.executor_stalls")
+
+    def _executor_beat(self, event: str) -> None:
+        """Heartbeat hook installed on the executor.
+
+        Worker activity refreshes both the executor component and the
+        dispatcher (which is blocked inside ``run_many`` while a batch
+        runs, so it cannot beat for itself).  Pool rebuilds and worker
+        restarts are counted and mark the service degraded.
+        """
+        sup = self.supervisor
+        if sup is not None:
+            sup.beat("executor")
+            sup.beat("dispatcher")
+        if event in ("pool_rebuild", "worker_restart"):
+            self._bump_unlocked("serve.supervisor.worker_restarts")
+            if sup is not None:
+                sup.note_degraded(event)
+
+    def _breaker_context(self) -> Optional[str]:
+        """Degradation probe: report open breaker families, if any."""
+        families = self.breakers.open_families()
+        if families:
+            return "breaker_open:" + ",".join(families)
+        return None
 
     def warm_start(self, journal: SweepJournal) -> int:
         """Seed the memory tier from a resumed journal's replayed results.
@@ -216,6 +432,8 @@ class ExperimentService:
             self._draining = True
             self.registry.gauge("serve.draining").set(1.0)
             self._cond.notify_all()
+        if self.supervisor is not None:
+            self.supervisor.set_draining(True)
 
     @property
     def draining(self) -> bool:
@@ -237,6 +455,8 @@ class ExperimentService:
         """
         self.begin_drain()
         idle = self.wait_idle(timeout)
+        if self.supervisor is not None:
+            self.supervisor.stop()
         if self._dispatcher is not None:
             self._dispatcher.join(timeout=5.0 if idle else 0.5)
         if self.journal is not None:
@@ -248,11 +468,18 @@ class ExperimentService:
         """Admit one request; returns its (possibly shared) ticket.
 
         Resolution order: join an identical in-flight ticket
-        (single-flight), hit the memory tier, hit the disk tier, or
-        queue a simulation.  Raises :class:`DrainingError` after drain
-        began and :class:`QueueFullError` when the simulation queue is
-        at capacity; a ticket that *joiners* are already attached to is
-        instead resolved with the rejection so every waiter sees it.
+        (single-flight), hit the memory tier, hit the disk tier, pass
+        the config family's circuit breaker, or queue a simulation.
+        Raises :class:`DrainingError` after drain began,
+        :class:`~repro.serve.breaker.BreakerOpenError` when the family's
+        breaker is open, and :class:`QueueFullError` when the simulation
+        queue is at capacity -- except that with
+        ``settings.degrade="analytical"`` the latter two resolve the
+        ticket with a :class:`~repro.serve.degrade.DegradedResult`
+        instead of raising.  A ticket that *joiners* are already
+        attached to is resolved with the rejection so every waiter sees
+        it.  Breakers only gate fresh simulations: cache hits for a
+        tripped family keep serving at full speed.
         """
         key = config.cache_key()
         with self._cond:
@@ -287,23 +514,83 @@ class ExperimentService:
                 self._cond.notify_all()
             ticket._resolve()
             return ticket
+        from repro.serve.breaker import BreakerOpenError, config_family
+
+        family = config_family(config)
+        decision = self.breakers.admit(family)
+        if not decision.allowed:
+            with self._cond:
+                self._probing -= 1
+                self._cond.notify_all()
+            return self._short_circuit(
+                ticket,
+                reason="breaker_open",
+                rejection=BreakerOpenError(family, decision.remaining_s),
+            )
         with self._cond:
             self._probing -= 1
             outstanding = len(self._queue) + self._in_flight
             if self.settings.queue_limit and outstanding >= self.settings.queue_limit:
-                del self._tickets[key]
-                self._bump("serve.rejected_queue_full")
-                rejection = QueueFullError(
-                    f"simulation queue full ({outstanding} outstanding, "
-                    f"limit {self.settings.queue_limit})"
-                )
-                ticket.rejection = rejection
+                if decision.probe:
+                    self.breakers.abandon_probe(family)
                 self._cond.notify_all()
-                ticket._resolve()
-                raise rejection
+                return self._short_circuit(
+                    ticket,
+                    reason="queue_full",
+                    rejection=QueueFullError(
+                        f"simulation queue full ({outstanding} outstanding, "
+                        f"limit {self.settings.queue_limit})"
+                    ),
+                )
+            ticket.breaker_probe = decision.probe
             self._queue.append(ticket)
             self.registry.gauge("serve.queue_depth").set(len(self._queue))
             self._cond.notify_all()
+        return ticket
+
+    def _short_circuit(
+        self,
+        ticket: RequestTicket,
+        reason: str,
+        rejection: AdmissionError,
+    ) -> RequestTicket:
+        """Resolve a request the simulation path cannot take right now.
+
+        With ``degrade="analytical"`` the ticket is answered by the
+        closed-form model (HTTP 200, ``"approximate": true``); otherwise
+        it is resolved with ``rejection`` and the rejection is raised.
+        Either way the ticket leaves the single-flight map so attached
+        joiners see the same outcome.  Degraded results are *not*
+        written to any cache tier.
+        """
+        degraded: Optional[DegradedResult] = None
+        if self.settings.degrade == "analytical":
+            try:
+                degraded = make_degraded_result(
+                    ticket.config, ticket.key, reason
+                )
+            except Exception:  # noqa: BLE001 - fall back to the rejection
+                degraded = None
+        with self._cond:
+            self._tickets.pop(ticket.key, None)
+            if degraded is not None:
+                ticket.degraded = degraded
+                ticket.tier = "degraded"
+                self._bump("serve.degraded.responses")
+                self._bump(f"serve.degraded.{reason}")
+                self._observe_latency(ticket)
+            else:
+                ticket.rejection = rejection
+                if reason == "queue_full":
+                    self._bump("serve.rejected_queue_full")
+                else:
+                    self._bump("serve.rejected_breaker_open")
+            self._cond.notify_all()
+        ticket._resolve()
+        if degraded is None:
+            raise rejection
+        if self.supervisor is not None:
+            self.supervisor.note_degraded(reason)
         return ticket
 
     def execute(
@@ -325,15 +612,44 @@ class ExperimentService:
         return ticket
 
     # -- dispatcher ----------------------------------------------------
-    def _dispatch_loop(self) -> None:
-        """Dispatcher thread body: coalesce queued misses into batches."""
+    def _beat_dispatcher(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.beat("dispatcher")
+
+    def _dispatch_loop(self, generation: int) -> None:
+        """Dispatcher thread body: coalesce queued misses into batches.
+
+        ``generation`` is the restart epoch this thread belongs to; a
+        supervisor restart bumps ``self._generation`` and this loop
+        exits the next time it observes the mismatch (its in-flight
+        callbacks are discarded by the same check).  The condition wait
+        is bounded so the loop heartbeats the supervisor even while
+        idle.
+        """
         settings = self.settings
+        wait_s = (
+            min(1.0, self.supervisor.heartbeat_s)
+            if self.supervisor is not None
+            else 1.0
+        )
         while True:
+            hang = self._test_hang
+            if hang is not None:
+                hang.wait()
+            self._beat_dispatcher()
             with self._cond:
-                self._cond.wait_for(
+                if generation != self._generation:
+                    return
+                ready = self._cond.wait_for(
                     lambda: self._queue
                     or (self._draining and self._probing == 0)
+                    or generation != self._generation,
+                    timeout=wait_s,
                 )
+                if generation != self._generation:
+                    return
+                if not ready:
+                    continue  # idle timeout: beat and re-wait
                 if not self._queue:
                     # Draining and nothing queued (nor probing): done.
                     return
@@ -341,10 +657,13 @@ class ExperimentService:
                 # Linger so concurrent misses coalesce into one batch.
                 time.sleep(settings.batch_window_s)
             with self._cond:
+                if generation != self._generation:
+                    return
                 batch: List[RequestTicket] = []
                 while self._queue and len(batch) < settings.batch_max:
                     batch.append(self._queue.popleft())
                 self._in_flight += len(batch)
+                self._dispatching.extend(batch)
                 if batch:
                     self._bump("serve.batches")
                 self.registry.gauge("serve.queue_depth").set(len(self._queue))
@@ -361,7 +680,7 @@ class ExperimentService:
                 _completed: List[bool] = completed,
             ) -> None:
                 _completed[index] = True
-                self._finish_simulated(_batch[index], outcome)
+                self._finish_simulated(_batch[index], outcome, generation)
 
             try:
                 self.executor.run_many(
@@ -379,13 +698,28 @@ class ExperimentService:
                                 message=f"executor failed: "
                                         f"{type(exc).__name__}: {exc}",
                             ),
+                            generation,
                         )
 
     def _finish_simulated(
-        self, ticket: RequestTicket, outcome: ExperimentOutcome
+        self,
+        ticket: RequestTicket,
+        outcome: ExperimentOutcome,
+        generation: int,
     ) -> None:
-        """Resolve one dispatched ticket: caches, journal, counters."""
-        if isinstance(outcome, FailedResult):
+        """Resolve one dispatched ticket: caches, journal, counters.
+
+        Outcomes reported by a superseded dispatcher generation are
+        discarded: their tickets were re-queued by
+        :meth:`_restart_dispatcher` and will be (or already were)
+        resolved by the replacement, so acting here would double-count
+        and double-resolve.
+        """
+        with self._cond:
+            if generation != self._generation or ticket.done:
+                return
+        failed = isinstance(outcome, FailedResult)
+        if failed:
             ticket.failure = outcome
             ticket.tier = "simulated"
             if self.journal is not None:
@@ -399,8 +733,18 @@ class ExperimentService:
             if self.journal is not None:
                 self.journal.record_done(ticket.key, outcome)
         with self._cond:
+            # Re-check: a restart may have raced the cache writes above,
+            # re-queueing this ticket and reclaiming its in-flight slot.
+            # The duplicate cache writes are idempotent; the accounting
+            # and resolution must not run twice.
+            if generation != self._generation or ticket.done:
+                return
             self._in_flight -= 1
             self._tickets.pop(ticket.key, None)
+            try:
+                self._dispatching.remove(ticket)
+            except ValueError:
+                pass
             if ticket.failure is not None:
                 self._bump("serve.failed")
             else:
@@ -409,9 +753,20 @@ class ExperimentService:
             self.registry.gauge("serve.in_flight").set(self._in_flight)
             self._cond.notify_all()
         ticket._resolve()
+        from repro.serve.breaker import config_family
+
+        self.breakers.on_result(
+            config_family(ticket.config), failed, probe=ticket.breaker_probe
+        )
 
     # -- accounting (call with self._cond held) ------------------------
     def _bump(self, name: str, amount: float = 1.0) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def _bump_unlocked(self, name: str, amount: float = 1.0) -> None:
+        # Counter increments are GIL-atomic enough for hook paths that
+        # must not take the service lock (executor heartbeats arrive
+        # from worker-facing threads while the dispatcher holds it).
         self.registry.counter(name).inc(amount)
 
     def _hit_ticket(
@@ -434,6 +789,35 @@ class ExperimentService:
         self._latency_hist.observe(latency_ms)
 
     # -- introspection -------------------------------------------------
+    def health(self) -> Dict:
+        """The ``/healthz`` payload: state machine + probe verdicts.
+
+        ``status`` is the supervisor's four-state machine (``healthy`` /
+        ``degraded`` / ``draining`` / ``unhealthy``); ``live`` and
+        ``ready`` are the split probes ``/healthz/live`` and
+        ``/healthz/ready`` answer.  A degraded service is still live and
+        ready -- it is answering, possibly approximately -- while
+        draining fails readiness only and unhealthy fails both.  Without
+        a supervisor (``heartbeat_s=0``) the state is derived from the
+        draining flag alone.
+        """
+        sup = self.supervisor
+        if sup is not None:
+            state = sup.state
+        else:
+            state = "draining" if self.draining else "healthy"
+        payload: Dict = {
+            "status": state,
+            "live": state != "unhealthy",
+            "ready": state in ("healthy", "degraded"),
+            "draining": self.draining,
+        }
+        if sup is not None:
+            payload["supervisor"] = sup.snapshot()
+        if self.breakers.enabled:
+            payload["open_breakers"] = self.breakers.open_families()
+        return payload
+
     def stats(self) -> Dict:
         """The ``/stats`` payload: tiers, dedup, queue, latency, uptime."""
         with self._cond:
@@ -448,7 +832,13 @@ class ExperimentService:
                     "serve.failed",
                     "serve.rejected_queue_full",
                     "serve.rejected_draining",
+                    "serve.rejected_breaker_open",
                     "serve.batches",
+                    "serve.degraded.responses",
+                    "serve.degraded.queue_full",
+                    "serve.degraded.breaker_open",
+                    "serve.supervisor.restarts",
+                    "serve.supervisor.worker_restarts",
                 )
             }
             recent = sorted(self._latencies_ms)
@@ -484,13 +874,29 @@ class ExperimentService:
             dedup_coalesced=counters["serve.dedup_coalesced"],
             rejected_queue_full=counters["serve.rejected_queue_full"],
             rejected_draining=counters["serve.rejected_draining"],
+            rejected_breaker_open=counters["serve.rejected_breaker_open"],
             failed=counters["serve.failed"],
             batches=counters["serve.batches"],
             tiers=tiers,
             memory_cache=self.memory.stats(),
             latency=latency,
             executor=self.executor.describe(),
+            degraded={
+                "mode": self.settings.degrade,
+                "responses": counters["serve.degraded.responses"],
+                "queue_full": counters["serve.degraded.queue_full"],
+                "breaker_open": counters["serve.degraded.breaker_open"],
+            },
+            breakers=self.breakers.snapshot(),
         )
+        if self.supervisor is not None:
+            stats["supervisor"] = self.supervisor.snapshot()
+            stats["supervisor"]["restarts_total"] = counters[
+                "serve.supervisor.restarts"
+            ]
+            stats["supervisor"]["worker_restarts"] = counters[
+                "serve.supervisor.worker_restarts"
+            ]
         if self.disk_cache is not None:
             stats["disk_cache"] = {
                 "hits": self.disk_cache.hits,

@@ -1,0 +1,391 @@
+"""Component supervision for the experiment service.
+
+The supervisor is a small control loop that watches registered
+components — the dispatcher thread and the executor worker pool — via
+heartbeats and liveness callbacks, restarts the ones that hang or
+crash, and folds everything it sees into a four-state service health
+machine:
+
+``healthy``
+    Every component alive and beating; no recent incidents.
+
+``degraded``
+    The service is up and answering but something noteworthy happened
+    recently: a component was restarted, a worker pool was rebuilt, a
+    circuit breaker is open, or requests are being answered by the
+    analytical model. Degraded still serves — readiness stays green.
+
+``draining``
+    The service is shutting down gracefully; readiness is red so load
+    balancers stop sending traffic, liveness stays green so the drain
+    is not killed mid-flight.
+
+``unhealthy``
+    A component is down and its restart budget is exhausted, or a
+    restart callback itself raised. Liveness goes red — the process
+    should be replaced.
+
+Restart pacing uses capped exponential backoff with **deterministic
+jitter**: the jitter term is derived from ``sha256(seed:name:attempt)``
+rather than a random source, so a given (seed, component, attempt)
+triple always waits the same amount — chaos tests can pin exact delays,
+and a fleet of replicas with distinct seeds still de-correlates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "SERVICE_STATES",
+    "Supervisor",
+    "backoff_delay",
+]
+
+#: Service health states in severity order (index = StateGauge value).
+SERVICE_STATES = ("healthy", "degraded", "draining", "unhealthy")
+
+
+def backoff_delay(
+    attempt: int,
+    base_s: float = 0.1,
+    cap_s: float = 30.0,
+    jitter_s: float = 0.0,
+    seed: int = 0,
+    name: str = "",
+) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    The deterministic delay for restart ``attempt`` (1-based) of
+    component ``name`` is ``min(cap_s, base_s * 2**(attempt-1))`` plus a
+    jitter in ``[0, jitter_s)`` derived from
+    ``sha256(f"{seed}:{name}:{attempt}")``. Python's builtin ``hash``
+    is salted per process, so the digest route is what makes the jitter
+    reproducible across runs — a property the backoff-determinism tests
+    pin.
+    """
+    if attempt < 1:
+        raise ValueError(f"backoff attempt must be >= 1, got {attempt}")
+    delay = min(cap_s, base_s * (2.0 ** (attempt - 1)))
+    if jitter_s > 0:
+        digest = hashlib.sha256(f"{seed}:{name}:{attempt}".encode()).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2**64
+        delay += frac * jitter_s
+    return delay
+
+
+class _Component:
+    """Book-keeping for one supervised component."""
+
+    __slots__ = (
+        "name",
+        "alive",
+        "restart",
+        "armed",
+        "last_beat",
+        "restarts",
+        "restart_after",
+        "last_restart",
+    )
+
+    def __init__(self, name, alive, restart, armed, now):
+        self.name = name
+        self.alive = alive
+        self.restart = restart
+        self.armed = armed
+        self.last_beat = now
+        self.restarts = 0
+        self.restart_after = 0.0  # earliest time the next restart may run
+        self.last_restart = 0.0
+
+
+class Supervisor:
+    """Heartbeat-driven watchdog over the service's moving parts.
+
+    Components are registered with three callables:
+
+    - ``alive()`` — cheap liveness check (e.g. ``thread.is_alive``).
+      Returning False means the component crashed outright.
+    - ``restart()`` — bring the component back. May raise; a raising
+      restart marks the service unhealthy.
+    - ``armed()`` (optional) — whether staleness should be enforced
+      right now. The executor pool, for instance, only beats while work
+      is in flight, so its staleness check is armed only when the
+      service has in-flight requests.
+
+    The loop runs every ``heartbeat_s`` seconds in a daemon thread;
+    :meth:`check_now` performs a single supervision pass synchronously
+    and is the entry point tests drive (with an injected ``clock``)
+    instead of sleeping.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        heartbeat_s: float = 1.0,
+        stale_after_s: Optional[float] = None,
+        max_restarts: int = 5,
+        backoff_base_s: float = 0.1,
+        backoff_cap_s: float = 30.0,
+        jitter_s: float = 0.05,
+        seed: int = 0,
+        degraded_hold_s: float = 30.0,
+        restart_reset_s: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be > 0, got {heartbeat_s}")
+        self.registry = registry
+        self.heartbeat_s = heartbeat_s
+        #: A component is *stale* when armed and silent for this long.
+        #: The default is 10 heartbeats: inline (non-isolated) serial
+        #: execution only beats at task boundaries, so a tight bound
+        #: would false-positive on any long simulation.
+        self.stale_after_s = (
+            stale_after_s if stale_after_s is not None else 10.0 * heartbeat_s
+        )
+        self.max_restarts = max_restarts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.jitter_s = jitter_s
+        self.seed = seed
+        self.degraded_hold_s = degraded_hold_s
+        self.restart_reset_s = restart_reset_s
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._components: Dict[str, _Component] = {}
+        self._draining = False
+        self._unhealthy_reason: Optional[str] = None
+        self._degraded_until = 0.0
+        self._degraded_reason: Optional[str] = None
+        self._context_fns: List[Callable[[], Optional[str]]] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._publish_state()
+
+    # -- registration and signals ------------------------------------
+
+    def register(
+        self,
+        name: str,
+        alive: Callable[[], bool],
+        restart: Callable[[], None],
+        armed: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Put ``name`` under supervision (replacing any prior entry)."""
+        with self._lock:
+            self._components[name] = _Component(
+                name, alive, restart, armed, self.clock()
+            )
+
+    def beat(self, name: str) -> None:
+        """Record a heartbeat from component ``name``.
+
+        Unknown names are ignored so executors can beat before the
+        supervisor finishes wiring.
+        """
+        with self._lock:
+            comp = self._components.get(name)
+            if comp is not None:
+                comp.last_beat = self.clock()
+
+    def note_degraded(self, reason: str) -> None:
+        """Mark the service degraded for ``degraded_hold_s`` seconds.
+
+        Called for incidents that are not component deaths: pool
+        rebuilds, open breakers, degraded responses being served.
+        """
+        with self._lock:
+            self._degraded_until = self.clock() + self.degraded_hold_s
+            self._degraded_reason = reason
+            self._publish_state()
+
+    def add_context(self, fn: Callable[[], Optional[str]]) -> None:
+        """Register a degradation probe consulted on every state read.
+
+        ``fn`` returns a reason string while some external condition
+        holds (e.g. "breaker_open:daisychain/FP"), or None when clear.
+        """
+        with self._lock:
+            self._context_fns.append(fn)
+
+    def set_draining(self, draining: bool = True) -> None:
+        """Enter (or leave) the draining state."""
+        with self._lock:
+            self._draining = draining
+            self._publish_state()
+
+    # -- state machine -----------------------------------------------
+
+    def _context_reason(self) -> Optional[str]:
+        for fn in self._context_fns:
+            try:
+                reason = fn()
+            except Exception:
+                continue
+            if reason:
+                return reason
+        return None
+
+    def _compute_state(self) -> str:
+        if self._unhealthy_reason is not None:
+            return "unhealthy"
+        if self._draining:
+            return "draining"
+        if self.clock() < self._degraded_until or self._context_reason():
+            return "degraded"
+        return "healthy"
+
+    @property
+    def state(self) -> str:
+        """Current service health state."""
+        with self._lock:
+            return self._compute_state()
+
+    @property
+    def live(self) -> bool:
+        """Liveness: False only when the service is unhealthy."""
+        return self.state != "unhealthy"
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: True for healthy/degraded, False otherwise."""
+        return self.state in ("healthy", "degraded")
+
+    def _publish_state(self) -> None:
+        if self.registry is None:
+            return
+        gauge = self.registry.state_gauge(
+            "serve.supervisor.state", SERVICE_STATES
+        )
+        gauge.set_state(self._compute_state())
+
+    # -- supervision loop --------------------------------------------
+
+    def check_now(self) -> List[str]:
+        """Run one supervision pass; returns names restarted this pass.
+
+        A component is restarted when it is dead (``alive()`` False) or
+        stale (armed and silent past ``stale_after_s``). Restarts are
+        paced by :func:`backoff_delay`; a component whose backoff window
+        has not elapsed is skipped this pass and retried on the next.
+        Exhausting ``max_restarts`` within ``restart_reset_s`` marks the
+        service unhealthy.
+        """
+        restarted: List[str] = []
+        with self._lock:
+            now = self.clock()
+            for comp in list(self._components.values()):
+                try:
+                    dead = not comp.alive()
+                except Exception:
+                    dead = True
+                armed = True
+                if comp.armed is not None:
+                    try:
+                        armed = bool(comp.armed())
+                    except Exception:
+                        armed = True
+                stale = armed and (now - comp.last_beat) > self.stale_after_s
+                if not dead and not stale:
+                    # A healthy stretch longer than restart_reset_s
+                    # forgives past restarts so the budget measures
+                    # crash *rate*, not lifetime total.
+                    if comp.restarts and (
+                        now - comp.last_restart > self.restart_reset_s
+                    ):
+                        comp.restarts = 0
+                    continue
+                if now < comp.restart_after:
+                    continue  # still backing off
+                if comp.restarts >= self.max_restarts:
+                    self._unhealthy_reason = (
+                        f"{comp.name}: restart budget exhausted "
+                        f"({self.max_restarts})"
+                    )
+                    self._publish_state()
+                    continue
+                comp.restarts += 1
+                comp.last_restart = now
+                comp.restart_after = now + backoff_delay(
+                    comp.restarts,
+                    base_s=self.backoff_base_s,
+                    cap_s=self.backoff_cap_s,
+                    jitter_s=self.jitter_s,
+                    seed=self.seed,
+                    name=comp.name,
+                )
+                reason = "dead" if dead else "stale"
+                try:
+                    comp.restart()
+                except Exception as exc:
+                    self._unhealthy_reason = (
+                        f"{comp.name}: restart failed: {exc}"
+                    )
+                    self._publish_state()
+                    continue
+                comp.last_beat = self.clock()
+                restarted.append(comp.name)
+                self._degraded_until = self.clock() + self.degraded_hold_s
+                self._degraded_reason = f"restarted:{comp.name}:{reason}"
+                if self.registry is not None:
+                    self.registry.counter("serve.supervisor.restarts").inc()
+                    self.registry.counter(
+                        f"serve.supervisor.restarts.{comp.name}"
+                    ).inc()
+            self._publish_state()
+        return restarted
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_s):
+            try:
+                self.check_now()
+            except Exception:
+                # The watchdog must never die of its own checks.
+                pass
+
+    def start(self) -> None:
+        """Start the supervision thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="serve-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the supervision thread and wait for it to exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def snapshot(self) -> Dict:
+        """JSON-safe view of the supervisor for /stats and /healthz."""
+        with self._lock:
+            now = self.clock()
+            state = self._compute_state()
+            reason = None
+            if state == "unhealthy":
+                reason = self._unhealthy_reason
+            elif state == "degraded":
+                reason = self._context_reason() or self._degraded_reason
+            return {
+                "state": state,
+                "reason": reason,
+                "heartbeat_s": self.heartbeat_s,
+                "stale_after_s": self.stale_after_s,
+                "components": {
+                    name: {
+                        "restarts": comp.restarts,
+                        "seconds_since_beat": round(
+                            max(0.0, now - comp.last_beat), 3
+                        ),
+                    }
+                    for name, comp in sorted(self._components.items())
+                },
+            }

@@ -1,0 +1,520 @@
+"""Self-healing serve layer tests: circuit-breaker state transitions,
+supervisor restarts (hung dispatcher, restart budget, deterministic
+backoff), analytical graceful degradation (byte-stable JSON, exact
+breakdown match, cache isolation), and the satellite hardening
+(socket-timeout validation, LRU stat windows)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.power_model import predict_full_power_breakdown
+from repro.harness.experiment import ExperimentConfig
+from repro.network.topology import build_topology
+from repro.obs.metrics import MetricsRegistry, StateGauge
+from repro.serve import (
+    BreakerBoard,
+    BreakerOpenError,
+    CircuitBreaker,
+    ExperimentService,
+    LruResultCache,
+    ServiceSettings,
+    Supervisor,
+    backoff_delay,
+    config_family,
+    degraded_json,
+    make_degraded_result,
+)
+from tests.test_serve import FAST, GateExecutor, fake_result
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def cfg():
+    return ExperimentConfig(workload="mixB", **FAST)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker state machine
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_closed_to_open_after_threshold(self, clock):
+        b = CircuitBreaker("daisychain/FP", threshold=3, cooldown_s=10,
+                           clock=clock)
+        for _ in range(2):
+            b.on_result(failed=True)
+            assert b.state == "closed"
+        b.on_result(failed=True)
+        assert b.state == "open" and b.trips == 1
+        decision = b.admit()
+        assert not decision.allowed and decision.remaining_s > 0
+
+    def test_success_resets_consecutive_count(self, clock):
+        b = CircuitBreaker("f", threshold=2, cooldown_s=10, clock=clock)
+        b.on_result(failed=True)
+        b.on_result(failed=False)
+        b.on_result(failed=True)
+        assert b.state == "closed"  # never two *consecutive* failures
+
+    def test_open_half_open_closed_cycle(self, clock):
+        b = CircuitBreaker("f", threshold=1, cooldown_s=10, clock=clock)
+        b.on_result(failed=True)
+        assert b.state == "open"
+        clock.advance(9.9)
+        assert not b.admit().allowed
+        clock.advance(0.2)  # past cooldown
+        probe = b.admit()
+        assert probe.allowed and probe.probe
+        assert b.state == "half_open"
+        # Only one probe is admitted while half-open.
+        assert not b.admit().allowed
+        b.on_result(failed=False, probe=True)
+        assert b.state == "closed" and b.recoveries == 1
+        assert b.admit().allowed and not b.admit().probe
+
+    def test_half_open_re_trip(self, clock):
+        b = CircuitBreaker("f", threshold=1, cooldown_s=10, clock=clock)
+        b.on_result(failed=True)
+        clock.advance(10.1)
+        assert b.admit().probe
+        b.on_result(failed=True, probe=True)
+        assert b.state == "open" and b.trips == 2
+        # A fresh cooldown applies from the re-trip.
+        clock.advance(5.0)
+        assert not b.admit().allowed
+        clock.advance(5.2)
+        assert b.admit().probe
+
+    def test_abandoned_probe_frees_the_slot(self, clock):
+        b = CircuitBreaker("f", threshold=1, cooldown_s=1, clock=clock)
+        b.on_result(failed=True)
+        clock.advance(1.1)
+        assert b.admit().probe
+        b.abandon_probe()
+        assert b.admit().probe  # slot reopened, no outcome recorded
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker("f", threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker("f", cooldown_s=0, clock=clock)
+
+
+class TestBreakerBoard:
+    def test_families_are_independent(self, clock):
+        board = BreakerBoard(threshold=1, cooldown_s=10, clock=clock)
+        board.on_result("daisychain/FP", failed=True)
+        assert not board.admit("daisychain/FP").allowed
+        assert board.admit("star/VWL").allowed
+        assert board.open_families() == ["daisychain/FP"]
+
+    def test_threshold_zero_disables(self, clock):
+        board = BreakerBoard(threshold=0, cooldown_s=10, clock=clock)
+        for _ in range(50):
+            board.on_result("daisychain/FP", failed=True)
+        assert board.admit("daisychain/FP").allowed
+        assert not board.enabled
+
+    def test_metrics_published(self, clock):
+        reg = MetricsRegistry()
+        board = BreakerBoard(threshold=1, cooldown_s=10, registry=reg,
+                             clock=clock)
+        board.on_result("daisychain/FP", failed=True)
+        board.admit("daisychain/FP")
+        assert reg.counter("serve.breaker.trips").value == 1
+        assert reg.counter("serve.breaker.short_circuits").value == 1
+        assert reg.gauge("serve.breaker.open").value == 1.0
+        gauge = reg.state_gauge(
+            "serve.breaker.state.daisychain/FP",
+            ("closed", "open", "half_open"),
+        )
+        assert gauge.state == "open"
+
+    def test_config_family(self, cfg):
+        assert config_family(cfg) == f"{cfg.topology}/{cfg.mechanism}"
+
+
+# ----------------------------------------------------------------------
+# Deterministic backoff + supervisor
+# ----------------------------------------------------------------------
+class TestBackoffDeterminism:
+    def test_same_inputs_same_delay(self):
+        a = backoff_delay(3, base_s=0.1, cap_s=30, jitter_s=1.0, seed=42,
+                          name="dispatcher")
+        b = backoff_delay(3, base_s=0.1, cap_s=30, jitter_s=1.0, seed=42,
+                          name="dispatcher")
+        assert a == b
+
+    def test_jitter_varies_with_seed_and_attempt(self):
+        base = dict(base_s=0.1, cap_s=30, jitter_s=1.0, name="dispatcher")
+        assert backoff_delay(1, seed=1, **base) != backoff_delay(1, seed=2, **base)
+        assert backoff_delay(1, seed=1, **base) != backoff_delay(2, seed=1, **base)
+
+    def test_exponential_and_capped(self):
+        delays = [backoff_delay(k, base_s=1.0, cap_s=8.0) for k in range(1, 7)]
+        assert delays == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+        with pytest.raises(ValueError):
+            backoff_delay(0)
+
+    def test_jitter_bounded(self):
+        for attempt in range(1, 20):
+            d = backoff_delay(attempt, base_s=0.0, cap_s=0.0, jitter_s=0.5,
+                              seed=7, name="x")
+            assert 0.0 <= d < 0.5
+
+
+class TestSupervisor:
+    def make(self, clock, **kw):
+        kw.setdefault("heartbeat_s", 1.0)
+        kw.setdefault("stale_after_s", 5.0)
+        kw.setdefault("jitter_s", 0.0)
+        kw.setdefault("backoff_base_s", 0.0)
+        return Supervisor(clock=clock, **kw)
+
+    def test_restarts_dead_component(self, clock):
+        sup = self.make(clock)
+        alive = {"up": True}
+        restarts = []
+
+        def restart():
+            restarts.append(clock())
+            alive["up"] = True
+
+        sup.register("dispatcher", alive=lambda: alive["up"], restart=restart)
+        assert sup.check_now() == []
+        alive["up"] = False
+        assert sup.check_now() == ["dispatcher"]
+        assert restarts and sup.state == "degraded"
+
+    def test_stale_component_restarted_only_when_armed(self, clock):
+        sup = self.make(clock)
+        sup.register("executor", alive=lambda: True, restart=lambda: None,
+                     armed=lambda: False)
+        clock.advance(100.0)
+        assert sup.check_now() == []  # silent but disarmed: fine
+        sup.register("executor", alive=lambda: True, restart=lambda: None,
+                     armed=lambda: True)
+        clock.advance(100.0)
+        assert sup.check_now() == ["executor"]
+
+    def test_restart_budget_exhaustion_goes_unhealthy(self, clock):
+        sup = self.make(clock, max_restarts=2)
+        sup.register("d", alive=lambda: False, restart=lambda: None)
+        for _ in range(2):
+            assert sup.check_now() == ["d"]
+            clock.advance(0.1)
+        assert sup.check_now() == []
+        assert sup.state == "unhealthy"
+        assert not sup.live and not sup.ready
+        assert "restart budget" in sup.snapshot()["reason"]
+
+    def test_raising_restart_goes_unhealthy(self, clock):
+        sup = self.make(clock)
+
+        def broken_restart():
+            raise RuntimeError("cannot revive")
+
+        sup.register("d", alive=lambda: False, restart=broken_restart)
+        sup.check_now()
+        assert sup.state == "unhealthy"
+
+    def test_backoff_paces_consecutive_restarts(self, clock):
+        sup = self.make(clock, backoff_base_s=2.0)
+        sup.register("d", alive=lambda: False, restart=lambda: None)
+        assert sup.check_now() == ["d"]
+        assert sup.check_now() == []  # inside the 2 s backoff window
+        clock.advance(2.1)
+        assert sup.check_now() == ["d"]
+
+    def test_degraded_decays_back_to_healthy(self, clock):
+        sup = self.make(clock, degraded_hold_s=10.0)
+        sup.note_degraded("pool_rebuild")
+        assert sup.state == "degraded"
+        assert sup.live and sup.ready
+        clock.advance(10.1)
+        assert sup.state == "healthy"
+
+    def test_draining_and_context_probes(self, clock):
+        sup = self.make(clock)
+        sup.add_context(lambda: "breaker_open:daisychain/FP")
+        assert sup.state == "degraded"
+        sup.set_draining(True)
+        assert sup.state == "draining"
+        assert sup.live and not sup.ready
+        sup.set_draining(False)
+        assert sup.state == "degraded"
+        assert sup.snapshot()["reason"].startswith("breaker_open")
+
+
+class TestStateGauge:
+    def test_states_and_values(self):
+        g = StateGauge("s", ("healthy", "degraded"))
+        assert (g.state, g.value) == ("healthy", 0.0)
+        g.set_state("degraded")
+        assert g.value == 1.0
+        with pytest.raises(ValueError):
+            g.set_state("nope")
+        assert g.as_dict()["states"] == ["healthy", "degraded"]
+
+    def test_registry_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.state_gauge("x", ("a", "b"))
+        assert reg.state_gauge("x", ("a", "b")) is a
+        assert "x" in reg.as_dict()["states"]
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+class TestDegradedResponses:
+    def test_json_is_byte_stable(self, cfg):
+        a = degraded_json(make_degraded_result(cfg, "k1", "queue_full"))
+        b = degraded_json(make_degraded_result(cfg, "k1", "queue_full"))
+        assert a == b
+        body = json.loads(a)
+        assert body["approximate"] is True
+        assert body["degraded_reason"] == "queue_full"
+        assert body["tier"] == "degraded"
+        assert body["tolerance"]["relative"] == 1e-6
+        assert body["tolerance"]["logic_dyn_ratio_bounds"] == [0.10, 1.05]
+
+    def test_breakdown_matches_closed_form_exactly(self, cfg):
+        degraded = make_degraded_result(cfg, "k1", "breaker_open")
+        topology = build_topology(cfg.topology, degraded.result.num_modules)
+        assert degraded.result.breakdown.watts == predict_full_power_breakdown(
+            topology, 0.0, 0.0
+        )
+
+    def test_unknown_reason_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            make_degraded_result(cfg, "k1", "because")
+
+
+def make_service(tmp_path=None, executor=None, registry=None, breakers=None,
+                 supervisor=None, **settings):
+    from repro.harness.diskcache import DiskCache
+
+    settings.setdefault("batch_window_s", 0.005)
+    settings.setdefault("heartbeat_s", 0.0)  # no supervisor thread in tests
+    return ExperimentService(
+        executor=executor or GateExecutor(),
+        disk_cache=DiskCache(tmp_path) if tmp_path is not None else None,
+        settings=ServiceSettings(**settings),
+        registry=registry,
+        breakers=breakers,
+        supervisor=supervisor,
+    ).start()
+
+
+class TestServiceDegradation:
+    def test_queue_full_answers_analytically_not_429(self, cfg, tmp_path):
+        executor = GateExecutor(hold=True)
+        service = make_service(tmp_path=tmp_path, executor=executor,
+                               queue_limit=1, degrade="analytical")
+        blocker = service.submit(cfg.replace(seed=1))
+        overflow_cfg = cfg.replace(seed=2)
+        ticket = service.submit(overflow_cfg)  # would be 429 with degrade=off
+        assert ticket.done and ticket.degraded is not None
+        assert ticket.tier == "degraded"
+        assert ticket.degraded.reason == "queue_full"
+        assert ticket.rejection is None
+        # Never written to any cache tier.
+        assert service.disk_cache.get(overflow_cfg) is None
+        stats = service.stats()
+        assert stats["degraded"]["queue_full"] == 1
+        assert stats["rejected_queue_full"] == 0
+        executor.gate.set()
+        assert blocker.wait(10)
+        assert service.drain(timeout=10)
+        # Only the simulated blocker landed in the memory tier.
+        assert service.memory.stats()["inserts"] == 1
+        assert service.memory.get(overflow_cfg.cache_key()) is None
+
+    def test_queue_full_still_rejects_with_degrade_off(self, cfg):
+        from repro.serve import QueueFullError
+
+        executor = GateExecutor(hold=True)
+        service = make_service(executor=executor, queue_limit=1)
+        service.submit(cfg.replace(seed=1))
+        with pytest.raises(QueueFullError):
+            service.submit(cfg.replace(seed=2))
+        executor.gate.set()
+        assert service.drain(timeout=10)
+
+    def test_breaker_trips_and_recovers_through_service(self, cfg, clock):
+        reg = MetricsRegistry()
+        board = BreakerBoard(threshold=2, cooldown_s=5.0, registry=reg,
+                             clock=clock)
+        executor = GateExecutor(fail=True)
+        service = make_service(executor=executor, registry=reg, breakers=board,
+                               degrade="analytical")
+        family = config_family(cfg)
+        # Two structured failures trip the family's breaker.
+        for seed in (1, 2):
+            ticket = service.execute(cfg.replace(seed=seed), timeout=10)
+            assert ticket.failure is not None
+        assert board.snapshot()["families"][family]["state"] == "open"
+        # Open: short-circuited to the analytical model, not simulated.
+        before = executor.simulated
+        ticket = service.execute(cfg.replace(seed=3), timeout=10)
+        assert ticket.degraded is not None
+        assert ticket.degraded.reason == "breaker_open"
+        assert executor.simulated == before
+        # Half-open probe fails: re-trip.
+        clock.advance(5.1)
+        ticket = service.execute(cfg.replace(seed=4), timeout=10)
+        assert ticket.failure is not None  # the probe really simulated
+        assert board.snapshot()["families"][family]["state"] == "open"
+        # Half-open probe succeeds: breaker closes, family recovers.
+        executor.fail = False
+        clock.advance(5.1)
+        ticket = service.execute(cfg.replace(seed=5), timeout=10)
+        assert ticket.result is not None
+        assert board.snapshot()["families"][family]["state"] == "closed"
+        ticket = service.execute(cfg.replace(seed=6), timeout=10)
+        assert ticket.tier == "simulated"
+        assert service.drain(timeout=10)
+
+    def test_open_breaker_rejects_503_with_degrade_off(self, cfg, clock):
+        board = BreakerBoard(threshold=1, cooldown_s=30.0, clock=clock)
+        executor = GateExecutor(fail=True)
+        service = make_service(executor=executor, breakers=board)
+        ticket = service.execute(cfg.replace(seed=1), timeout=10)
+        assert ticket.failure is not None
+        with pytest.raises(BreakerOpenError) as exc_info:
+            service.submit(cfg.replace(seed=2))
+        assert exc_info.value.http_status == 503
+        assert exc_info.value.retry_after_s >= 1.0
+        assert service.stats()["rejected_breaker_open"] == 1
+        assert service.drain(timeout=10)
+
+    def test_cache_hits_bypass_an_open_breaker(self, cfg, clock):
+        board = BreakerBoard(threshold=1, cooldown_s=30.0, clock=clock)
+        service = make_service(breakers=board)
+        hot = cfg.replace(seed=1)
+        service.memory.put(hot.cache_key(), fake_result(hot))
+        board.on_result(config_family(cfg), failed=True)  # trip the family
+        ticket = service.submit(hot)
+        assert ticket.tier == "memory" and ticket.result is not None
+        assert service.drain(timeout=10)
+
+
+class TestSupervisedService:
+    def test_hung_dispatcher_restarted_without_dropping_requests(self, cfg, clock):
+        sup = Supervisor(heartbeat_s=1000.0, stale_after_s=1.0, jitter_s=0.0,
+                         backoff_base_s=0.0, clock=clock)
+        service = make_service(supervisor=sup)
+        hang = threading.Event()
+        service._test_hang = hang  # dispatcher blocks at its next loop top
+        deadline = clock  # noqa: F841 - keep the fake clock alive
+        # Wait until the dispatcher is actually wedged on the hang gate.
+        for _ in range(200):
+            if getattr(hang, "_cond", None) and hang._cond._waiters:
+                break
+            threading.Event().wait(0.01)
+        ticket = service.submit(cfg)
+        assert not ticket.wait(0.2)  # hung dispatcher: nothing moves
+        generation = service._generation
+        service._test_hang = None  # only the wedged thread stays trapped
+        clock.advance(2.0)  # past stale_after_s
+        assert sup.check_now() == ["dispatcher"]
+        assert service._generation == generation + 1
+        assert ticket.wait(10), "restarted dispatcher must finish the request"
+        assert ticket.result is not None and ticket.tier == "simulated"
+        assert sup.state == "degraded"  # restart leaves a degraded window
+        hang.set()  # release the old thread; it exits on generation mismatch
+        assert service.drain(timeout=10)
+
+    def test_health_payload_reflects_supervisor(self, cfg, clock):
+        sup = Supervisor(heartbeat_s=1000.0, stale_after_s=1.0, clock=clock)
+        service = make_service(supervisor=sup)
+        health = service.health()
+        assert health["status"] == "healthy"
+        assert health["live"] and health["ready"]
+        sup.note_degraded("pool_rebuild")
+        health = service.health()
+        assert health["status"] == "degraded"
+        assert health["live"] and health["ready"]
+        service.begin_drain()
+        health = service.health()
+        assert health["status"] == "draining"
+        assert health["live"] and not health["ready"]
+        assert service.drain(timeout=10)
+
+    def test_executor_beats_count_worker_restarts(self, cfg):
+        reg = MetricsRegistry()
+        service = make_service(registry=reg)
+        service._executor_beat("pool_rebuild")
+        service._executor_beat("worker_restart")
+        assert reg.counter("serve.supervisor.worker_restarts").value == 2
+        assert service.drain(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Satellites: settings validation + LRU stat windows
+# ----------------------------------------------------------------------
+class TestServiceSettingsValidation:
+    def test_socket_timeout_must_cover_request_deadline(self):
+        with pytest.raises(ValueError):
+            ServiceSettings(request_timeout_s=600.0, socket_timeout_s=30.0)
+        ok = ServiceSettings(request_timeout_s=600.0, socket_timeout_s=700.0)
+        assert ok.effective_socket_timeout_s == 700.0
+
+    def test_default_socket_timeout_tracks_request_deadline(self):
+        assert ServiceSettings().effective_socket_timeout_s == 600.0
+        assert (
+            ServiceSettings(request_timeout_s=5.0).effective_socket_timeout_s
+            == 30.0
+        )
+
+    def test_invalid_modes_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceSettings(degrade="sometimes")
+        with pytest.raises(ValueError):
+            ServiceSettings(breaker_threshold=-1)
+        with pytest.raises(ValueError):
+            ServiceSettings(heartbeat_s=-1.0)
+        with pytest.raises(ValueError):
+            ServiceSettings(socket_timeout_s=0.0)
+
+
+class TestLruStatWindows:
+    def test_inserts_are_monotonic_across_reset(self, cfg):
+        lru = LruResultCache(capacity=4)
+        for i in range(3):
+            lru.put(f"k{i}", fake_result(cfg.replace(seed=i)))
+        lru.get("k0")
+        lru.get("missing")
+        assert lru.stats()["inserts"] == 3
+        lru.reset_stats()
+        stats = lru.stats()
+        assert (stats["hits"], stats["misses"], stats["evictions"]) == (0, 0, 0)
+        assert stats["inserts"] == 3  # survives the reset
+        lru.put("k9", fake_result(cfg.replace(seed=9)))
+        assert lru.stats()["inserts"] == 4
+
+    def test_capacity_is_immutable(self):
+        lru = LruResultCache(capacity=4)
+        with pytest.raises(AttributeError):
+            lru.capacity = 8
+        assert lru.capacity == 4

@@ -384,7 +384,12 @@ class TestHttpApi:
     def test_healthz_stats_metrics(self, http_server):
         base, service, _ = http_server
         status, _, body = http_request(base + "/healthz")
-        assert (status, body["status"]) == (200, "ok")
+        assert (status, body["status"]) == (200, "healthy")
+        assert body["live"] is True and body["ready"] is True
+        status, _, live = http_request(base + "/healthz/live")
+        assert (status, live["live"]) == (200, True)
+        status, _, ready = http_request(base + "/healthz/ready")
+        assert (status, ready["ready"]) == (200, True)
         status, _, stats = http_request(base + "/stats")
         assert status == 200 and stats["queue_limit"] == 2
         assert stats["executor"]["kind"] == "GateExecutor"
