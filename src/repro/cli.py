@@ -400,8 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: wait forever)")
     serve_p.add_argument(
         "--socket-timeout", type=float, default=None, metavar="SECS",
-        help="per-connection socket timeout; must be >= the request "
-             "timeout (default: max(request timeout, 30))")
+        help="per-connection idle socket read timeout for keep-alive "
+             "connections; independent of the request timeout "
+             "(default: 30)")
     serve_p.add_argument(
         "--degrade", choices=["off", "analytical"], default="off",
         help="what a saturated queue or open circuit breaker answers "

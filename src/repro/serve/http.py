@@ -114,12 +114,14 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-mnet-serve/1"
     protocol_version = "HTTP/1.1"
-    #: Socket read budget: a keep-alive connection whose client went
-    #: away closes itself instead of pinning a handler thread through
-    #: drain (handler threads are joined on close).  This class default
-    #: is a fallback only -- :meth:`setup` overrides it per connection
-    #: with ``ServiceSettings.effective_socket_timeout_s``, which is
-    #: validated to never undercut ``request_timeout_s``.
+    #: Idle-read budget: a keep-alive connection whose client went away
+    #: closes itself instead of pinning a handler thread through drain
+    #: (handler threads are joined on close).  It only bounds reading
+    #: the *next* request -- an in-flight request waits on its ticket,
+    #: not the socket -- so it stays short regardless of the request
+    #: deadline.  This class default is a fallback only -- :meth:`setup`
+    #: overrides it per connection with
+    #: ``ServiceSettings.effective_socket_timeout_s``.
     timeout = 30.0
 
     # -- plumbing ------------------------------------------------------

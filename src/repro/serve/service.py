@@ -136,10 +136,12 @@ class ServiceSettings:
     jitter).
 
     ``socket_timeout_s`` is the per-connection socket timeout the HTTP
-    handler applies; the default (None) resolves to
-    ``max(request_timeout_s, 30.0)`` and an explicit value below
-    ``request_timeout_s`` is rejected so the socket can never time out
-    before the request deadline does.
+    handler applies; the default (None) resolves to 30 s.  It bounds
+    only the idle read for the *next* request on a keep-alive
+    connection -- a request already being served waits on its ticket,
+    not the socket -- so it is deliberately independent of
+    ``request_timeout_s``: keeping it short lets dead clients release
+    their handler threads quickly (drain joins handler threads).
     """
 
     queue_limit: int = 64
@@ -177,30 +179,21 @@ class ServiceSettings:
             raise ValueError(
                 f"heartbeat_s must be >= 0, got {self.heartbeat_s}"
             )
-        if self.socket_timeout_s is not None:
-            if self.socket_timeout_s <= 0:
-                raise ValueError(
-                    f"socket_timeout_s must be > 0, got {self.socket_timeout_s}"
-                )
-            if self.socket_timeout_s < self.request_timeout_s:
-                raise ValueError(
-                    f"socket_timeout_s ({self.socket_timeout_s:g}s) must not "
-                    f"be below request_timeout_s "
-                    f"({self.request_timeout_s:g}s): the socket would time "
-                    f"out before the request deadline"
-                )
+        if self.socket_timeout_s is not None and self.socket_timeout_s <= 0:
+            raise ValueError(
+                f"socket_timeout_s must be > 0, got {self.socket_timeout_s}"
+            )
 
     @property
     def effective_socket_timeout_s(self) -> float:
         """The socket timeout the HTTP layer applies per connection.
 
-        ``socket_timeout_s`` when set; otherwise the request deadline
-        with a 30 s floor, so short request budgets still tolerate slow
-        clients.
+        ``socket_timeout_s`` when set; otherwise 30 s.  Independent of
+        ``request_timeout_s`` by design -- see the class docstring.
         """
         if self.socket_timeout_s is not None:
             return self.socket_timeout_s
-        return max(self.request_timeout_s, 30.0)
+        return 30.0
 
 
 class RequestTicket:
@@ -527,25 +520,33 @@ class ExperimentService:
                 reason="breaker_open",
                 rejection=BreakerOpenError(family, decision.remaining_s),
             )
+        queue_full: Optional[QueueFullError] = None
         with self._cond:
             self._probing -= 1
             outstanding = len(self._queue) + self._in_flight
             if self.settings.queue_limit and outstanding >= self.settings.queue_limit:
-                if decision.probe:
-                    self.breakers.abandon_probe(family)
-                self._cond.notify_all()
-                return self._short_circuit(
-                    ticket,
-                    reason="queue_full",
-                    rejection=QueueFullError(
-                        f"simulation queue full ({outstanding} outstanding, "
-                        f"limit {self.settings.queue_limit})"
-                    ),
+                # Build the rejection here but resolve it after the lock
+                # is released (mirroring the breaker-open path above):
+                # _short_circuit reaches into the supervisor, whose lock
+                # is held by check_now() while it calls
+                # _restart_dispatcher(), which takes self._cond --
+                # short-circuiting under self._cond would ABBA-deadlock
+                # admission against a concurrent dispatcher restart.
+                queue_full = QueueFullError(
+                    f"simulation queue full ({outstanding} outstanding, "
+                    f"limit {self.settings.queue_limit})"
                 )
-            ticket.breaker_probe = decision.probe
-            self._queue.append(ticket)
-            self.registry.gauge("serve.queue_depth").set(len(self._queue))
+            else:
+                ticket.breaker_probe = decision.probe
+                self._queue.append(ticket)
+                self.registry.gauge("serve.queue_depth").set(len(self._queue))
             self._cond.notify_all()
+        if queue_full is not None:
+            if decision.probe:
+                self.breakers.abandon_probe(family)
+            return self._short_circuit(
+                ticket, reason="queue_full", rejection=queue_full
+            )
         return ticket
 
     def _short_circuit(
@@ -562,6 +563,11 @@ class ExperimentService:
         Either way the ticket leaves the single-flight map so attached
         joiners see the same outcome.  Degraded results are *not*
         written to any cache tier.
+
+        Must be called **without** ``self._cond`` held: it builds the
+        degraded topology and calls ``supervisor.note_degraded`` (which
+        takes the supervisor lock), and the supervisor calls back into
+        ``self._cond`` from its restart path.
         """
         degraded: Optional[DegradedResult] = None
         if self.settings.degrade == "analytical":
@@ -720,35 +726,38 @@ class ExperimentService:
                 return
         failed = isinstance(outcome, FailedResult)
         if failed:
-            ticket.failure = outcome
-            ticket.tier = "simulated"
             if self.journal is not None:
                 self.journal.record_failed(ticket.key, outcome)
         else:
-            ticket.result = outcome
-            ticket.tier = "simulated"
             self.memory.put(ticket.key, outcome)
             if self.disk_cache is not None:
                 self.disk_cache.put(ticket.config, outcome)
             if self.journal is not None:
                 self.journal.record_done(ticket.key, outcome)
         with self._cond:
-            # Re-check: a restart may have raced the cache writes above,
-            # re-queueing this ticket and reclaiming its in-flight slot.
-            # The duplicate cache writes are idempotent; the accounting
-            # and resolution must not run twice.
+            # Re-check: a restart may have raced the cache/journal
+            # writes above, re-queueing this ticket and reclaiming its
+            # in-flight slot.  The duplicate cache writes are
+            # idempotent; the ticket mutation, accounting, and
+            # resolution run only for the generation that still owns
+            # the ticket -- mutating before this re-check would leave a
+            # stale FailedResult on a ticket the next generation
+            # retries (and may resolve successfully).
             if generation != self._generation or ticket.done:
                 return
+            ticket.tier = "simulated"
+            if failed:
+                ticket.failure = outcome
+                self._bump("serve.failed")
+            else:
+                ticket.result = outcome
+                self._bump("serve.simulated")
             self._in_flight -= 1
             self._tickets.pop(ticket.key, None)
             try:
                 self._dispatching.remove(ticket)
             except ValueError:
                 pass
-            if ticket.failure is not None:
-                self._bump("serve.failed")
-            else:
-                self._bump("serve.simulated")
             self._observe_latency(ticket)
             self.registry.gauge("serve.in_flight").set(self._in_flight)
             self._cond.notify_all()

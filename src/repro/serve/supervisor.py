@@ -274,8 +274,15 @@ class Supervisor:
         has not elapsed is skipped this pass and retried on the next.
         Exhausting ``max_restarts`` within ``restart_reset_s`` marks the
         service unhealthy.
+
+        Restart callbacks are invoked **after** the supervisor lock is
+        dropped: they reach back into the service (e.g. the dispatcher
+        restart takes the service condition), and service threads
+        holding that condition call :meth:`beat` /
+        :meth:`note_degraded` -- running callbacks under ``self._lock``
+        would make those two orders an ABBA deadlock.
         """
-        restarted: List[str] = []
+        to_restart: List[tuple] = []
         with self._lock:
             now = self.clock()
             for comp in list(self._components.values()):
@@ -306,7 +313,6 @@ class Supervisor:
                         f"{comp.name}: restart budget exhausted "
                         f"({self.max_restarts})"
                     )
-                    self._publish_state()
                     continue
                 comp.restarts += 1
                 comp.last_restart = now
@@ -318,17 +324,22 @@ class Supervisor:
                     seed=self.seed,
                     name=comp.name,
                 )
-                reason = "dead" if dead else "stale"
-                try:
-                    comp.restart()
-                except Exception as exc:
+                to_restart.append((comp, "dead" if dead else "stale"))
+            self._publish_state()
+        restarted: List[str] = []
+        for comp, reason in to_restart:
+            try:
+                comp.restart()
+            except Exception as exc:
+                with self._lock:
                     self._unhealthy_reason = (
                         f"{comp.name}: restart failed: {exc}"
                     )
                     self._publish_state()
-                    continue
+                continue
+            restarted.append(comp.name)
+            with self._lock:
                 comp.last_beat = self.clock()
-                restarted.append(comp.name)
                 self._degraded_until = self.clock() + self.degraded_hold_s
                 self._degraded_reason = f"restarted:{comp.name}:{reason}"
                 if self.registry is not None:
@@ -336,7 +347,7 @@ class Supervisor:
                     self.registry.counter(
                         f"serve.supervisor.restarts.{comp.name}"
                     ).inc()
-            self._publish_state()
+                self._publish_state()
         return restarted
 
     def _loop(self) -> None:

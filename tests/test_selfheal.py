@@ -471,17 +471,131 @@ class TestSupervisedService:
 
 
 # ----------------------------------------------------------------------
+# Lock ordering between the service condition and the supervisor lock
+# ----------------------------------------------------------------------
+class TestLockOrdering:
+    def test_queue_full_degraded_short_circuit_drops_service_lock(self, cfg):
+        """Regression: the queue-full path used to call _short_circuit
+        while holding the service condition; note_degraded then took the
+        supervisor lock, ABBA-deadlocking against check_now() holding
+        the supervisor lock while _restart_dispatcher takes the
+        condition."""
+        holder = {}
+        seen = []
+
+        class CondCheckingSupervisor(Supervisor):
+            def note_degraded(self, reason):
+                assert not holder["service"]._cond._is_owned(), (
+                    "note_degraded must not run while the calling thread "
+                    "holds the service condition"
+                )
+                seen.append(reason)
+                super().note_degraded(reason)
+
+        sup = CondCheckingSupervisor(heartbeat_s=1000.0)
+        executor = GateExecutor(hold=True)
+        service = make_service(executor=executor, supervisor=sup,
+                               queue_limit=1, degrade="analytical")
+        holder["service"] = service
+        blocker = service.submit(cfg.replace(seed=1))
+        ticket = service.submit(cfg.replace(seed=2))  # saturates the queue
+        assert ticket.degraded is not None and ticket.tier == "degraded"
+        assert seen == ["queue_full"]
+        executor.gate.set()
+        assert blocker.wait(10)
+        assert service.drain(timeout=10)
+
+    def test_restart_callbacks_run_without_supervisor_lock(self, clock):
+        """check_now must invoke restart callbacks after dropping its
+        lock: restarts reach into the service condition, which other
+        threads hold while calling beat()/note_degraded()."""
+        sup = Supervisor(heartbeat_s=1.0, stale_after_s=5.0, jitter_s=0.0,
+                         backoff_base_s=0.0, clock=clock)
+        ran = []
+
+        def restart():
+            assert not sup._lock._is_owned(), (
+                "restart callbacks must run outside the supervisor lock"
+            )
+            sup.beat("d")  # what a restarted component's threads do
+            ran.append(True)
+
+        sup.register("d", alive=lambda: False, restart=restart)
+        assert sup.check_now() == ["d"]
+        assert ran == [True]
+        assert sup.state == "degraded"
+
+
+class RacingJournal:
+    """Journal stub whose failure record fires a dispatcher restart,
+    landing exactly in _finish_simulated's unlocked window."""
+
+    def __init__(self, service=None, executor=None):
+        self.service = service
+        self.executor = executor
+        self.fire = True
+        self.records_written = 0
+        self.path = "racing-journal"
+
+    def record_failed(self, key, outcome):
+        if self.fire:
+            self.fire = False
+            self.executor.fail = False  # the retry will succeed
+            self.service._restart_dispatcher()
+
+    def record_done(self, key, outcome):
+        self.records_written += 1
+
+    def close(self):
+        pass
+
+
+class TestSupersededGeneration:
+    def test_superseded_failure_does_not_stick_to_requeued_ticket(self, cfg):
+        """Regression: a failure reported by a superseded dispatcher
+        generation must not mutate a ticket the restart re-queued --
+        the stale FailedResult would win over the retry's success and
+        the waiter would see a 500 for a simulation that passed."""
+        from repro.serve.http import _ticket_payload
+
+        executor = GateExecutor(fail=True)
+        journal = RacingJournal(executor=executor)
+        service = ExperimentService(
+            executor=executor,
+            settings=ServiceSettings(batch_window_s=0.0, heartbeat_s=0.0),
+            journal=journal,
+        ).start()
+        journal.service = service
+        ticket = service.submit(cfg)
+        assert ticket.wait(10), "re-queued ticket must resolve"
+        assert ticket.failure is None, (
+            "stale generation's failure leaked onto the retried ticket"
+        )
+        assert ticket.result is not None and ticket.tier == "simulated"
+        status, _ = _ticket_payload(ticket)
+        assert status == 200
+        assert executor.simulated == 2  # failed once, retried once
+        assert service.registry.counter("serve.failed").value == 0
+        assert service.drain(timeout=10)
+
+
+# ----------------------------------------------------------------------
 # Satellites: settings validation + LRU stat windows
 # ----------------------------------------------------------------------
 class TestServiceSettingsValidation:
-    def test_socket_timeout_must_cover_request_deadline(self):
-        with pytest.raises(ValueError):
-            ServiceSettings(request_timeout_s=600.0, socket_timeout_s=30.0)
-        ok = ServiceSettings(request_timeout_s=600.0, socket_timeout_s=700.0)
-        assert ok.effective_socket_timeout_s == 700.0
+    def test_socket_timeout_is_independent_of_request_deadline(self):
+        # The socket timeout only bounds the idle read for the *next*
+        # keep-alive request -- handlers wait on tickets, not the
+        # socket -- so a value below request_timeout_s is fine.
+        short = ServiceSettings(request_timeout_s=600.0, socket_timeout_s=5.0)
+        assert short.effective_socket_timeout_s == 5.0
+        long = ServiceSettings(request_timeout_s=600.0, socket_timeout_s=700.0)
+        assert long.effective_socket_timeout_s == 700.0
 
-    def test_default_socket_timeout_tracks_request_deadline(self):
-        assert ServiceSettings().effective_socket_timeout_s == 600.0
+    def test_default_socket_timeout_is_short_idle_read(self):
+        # A long request budget must not pin dead keep-alive
+        # connections (and their handler threads) for minutes.
+        assert ServiceSettings().effective_socket_timeout_s == 30.0
         assert (
             ServiceSettings(request_timeout_s=5.0).effective_socket_timeout_s
             == 30.0
