@@ -10,7 +10,7 @@ LINT_PATHS = src/repro/sim src/repro/network src/repro/perf
 # mypy-checked too.
 MYPY_PATHS = src/repro/sim src/repro/network src/repro/core src/repro/harness src/repro/perf
 
-.PHONY: test lint bench bench-quick bench-gate baseline serve-smoke selfheal-smoke
+.PHONY: test lint bench bench-quick bench-gate baseline serve-smoke selfheal-smoke store-migrate-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,12 @@ test:
 # tiering, backpressure, SIGTERM drain); see docs/serving.md.
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
+
+# The CI serve job's store step: seed a JSON cache with real runs,
+# `repro-mnet store migrate` it into results.sqlite, and prove repeat
+# runs are served byte-identically from the migrated store.
+store-migrate-smoke:
+	$(PYTHON) scripts/store_migrate_smoke.py
 
 # The CI serve job's chaos step: SIGKILL a pool worker mid-batch,
 # saturate the queue under --degrade analytical, trip a circuit

@@ -2,27 +2,33 @@
 """End-to-end smoke test of ``repro-mnet serve`` (the CI ``serve`` job).
 
 Starts a real server subprocess and proves the serving contract from
-the outside:
+the outside, driving the versioned ``/v1/`` API through the supported
+Python SDK (:class:`repro.serve.client.ServeClient`):
 
 1. N identical concurrent requests trigger exactly ONE simulation
-   (``/stats`` shows ``simulated == 1`` and ``dedup_coalesced == N-1``);
+   (``/v1/stats`` shows ``simulated == 1`` and
+   ``dedup_coalesced == N-1``);
 2. a repeat request is answered by the memory tier;
 3. the server's ``summary`` response is byte-identical to
    ``repro-mnet run`` stdout for the same config (both read the shared
-   disk cache, so even the wall-time row matches);
-4. overload against a bounded queue yields HTTP 429 with a
+   result store, so even the wall-time row matches);
+4. the unversioned alias paths answer identically to ``/v1/`` but carry
+   a ``Deprecation`` header (and ``/v1/`` paths do not);
+5. overload against a bounded queue yields HTTP 429 with a
    ``Retry-After`` header while admitted requests still complete;
-5. SIGTERM drains gracefully: the in-flight request completes with 200,
+6. SIGTERM drains gracefully: the in-flight request completes with 200,
    new requests are refused with 503, the journal holds the completed
    work, and the process exits 0.
 
 Run from the repository root::
 
-    python scripts/serve_smoke.py
+    python scripts/serve_smoke.py                  # JSON store backend
+    python scripts/serve_smoke.py --store sqlite   # SQLite store backend
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import pathlib
@@ -33,10 +39,15 @@ import sys
 import tempfile
 import threading
 import time
-import urllib.error
-import urllib.request
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.serve.client import (  # noqa: E402 - path bootstrap above
+    ServeClient,
+    ServeError,
+    ServeRejectedError,
+)
 
 #: The shared test config, expressible identically through CLI flags.
 CONFIG = {"workload": "mixB", "window_ns": 60_000.0, "epoch_ns": 15_000.0}
@@ -53,32 +64,25 @@ def check(ok: bool, label: str, detail: str = "") -> None:
         FAILURES.append(label)
 
 
-def request(base: str, path: str, body=None, timeout: float = 120.0):
-    """(status, headers, parsed JSON body) for one HTTP round trip."""
-    req = urllib.request.Request(
-        base + path,
-        data=None if body is None else json.dumps(body).encode(),
-        headers={"Content-Type": "application/json"},
-    )
-    try:
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return resp.status, dict(resp.headers), json.loads(resp.read())
-    except urllib.error.HTTPError as exc:
-        return exc.code, dict(exc.headers), json.loads(exc.read())
-
-
 def main() -> int:
     """Run the smoke sequence; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", choices=["json", "sqlite"], default="json",
+                        help="result-store backend for server and CLI")
+    args = parser.parse_args()
+
     workdir = pathlib.Path(tempfile.mkdtemp(prefix="serve-smoke-"))
     cache_dir = workdir / "cache"
     journal = workdir / "journal.jsonl"
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
     cli = [sys.executable, "-m", "repro.cli"]
+    store_flags = ["--store", args.store]
 
     server = subprocess.Popen(
         cli + [
             "serve", "--port", "0", "--cache-dir", str(cache_dir),
+            *store_flags,
             "--queue-limit", "2", "--batch-window-ms", "20",
             "--journal", str(journal),
         ],
@@ -92,12 +96,12 @@ def main() -> int:
             print(f"server did not announce its address: {line!r}")
             return 1
         base = f"http://{match.group(1)}:{match.group(2)}"
-        print(f"[serve-smoke] server at {base}")
+        print(f"[serve-smoke] server at {base} (--store {args.store})")
+        client = ServeClient(base, timeout_s=120.0)
 
-        status, _, body = request(base, "/healthz")
-        check(status == 200 and body["status"] == "healthy",
-              "healthz is 200/healthy")
-        check(body["live"] is True and body["ready"] is True,
+        health = client.healthz()
+        check(health["status"] == "healthy", "healthz reports healthy")
+        check(health["live"] is True and health["ready"] is True,
               "liveness and readiness probes are green")
 
         # 1. Single-flight dedup: N identical concurrent requests.
@@ -105,50 +109,86 @@ def main() -> int:
         outcomes = [None] * n
 
         def fire(i: int) -> None:
-            outcomes[i] = request(base, "/v1/run", {"config": CONFIG})
+            try:
+                outcomes[i] = client.run_detailed(CONFIG)
+            except ServeError as exc:
+                outcomes[i] = exc
 
         threads = [threading.Thread(target=fire, args=(i,)) for i in range(n)]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
-        statuses = [o[0] for o in outcomes]
-        check(statuses == [200] * n, "identical concurrent requests all 200",
-              str(statuses))
-        _, _, stats = request(base, "/stats")
+        errors = [o for o in outcomes if isinstance(o, ServeError)]
+        check(not errors, "identical concurrent requests all succeed",
+              str(errors))
+        stats = client.stats()
         check(stats["tiers"]["simulated"] == 1,
               "exactly one simulation ran",
               f"simulated={stats['tiers']['simulated']}")
         check(stats["dedup_coalesced"] == n - 1,
               f"{n - 1} requests coalesced onto the flight",
               f"coalesced={stats['dedup_coalesced']}")
+        check(stats["disk_cache"].get("backend") == args.store,
+              f"disk tier reports the {args.store} backend",
+              str(stats["disk_cache"].get("backend")))
 
         # 2. Repeat request hits the memory tier.
-        status, _, body = request(base, "/v1/run", {"config": CONFIG})
-        check(status == 200 and body["tier"] == "memory",
+        outcome = client.run_detailed(CONFIG)
+        check(outcome.tier == "memory",
               "repeat request served by the memory tier",
-              f"tier={body.get('tier')}")
-        summary = body["summary"]
+              f"tier={outcome.tier}")
+        summary = outcome.summary
 
-        # 3. Byte-identical to `repro-mnet run` (shared disk cache).
+        # 3. Byte-identical to `repro-mnet run` (shared result store).
         run = subprocess.run(
-            cli + ["run", *RUN_FLAGS, "--cache-dir", str(cache_dir)],
+            cli + ["run", *RUN_FLAGS, "--cache-dir", str(cache_dir),
+                   *store_flags],
             capture_output=True, text=True, env=env, cwd=REPO,
         )
         check(run.returncode == 0, "repro-mnet run exits 0", run.stderr.strip())
         check("# 0 simulated" in run.stderr,
-              "CLI run was served from the shared disk cache",
+              "CLI run was served from the shared result store",
               run.stderr.strip())
         check(run.stdout == summary + "\n",
               "server summary is byte-identical to repro-mnet run stdout")
 
-        # 4. Backpressure: 10 distinct configs against queue_limit=2.
+        # 4. /v1/ vs unversioned aliases: same answers, Deprecation
+        # header only on the aliases.
+        for path in ("/healthz", "/stats", "/metrics"):
+            s_v1, h_v1, b_v1 = client.request(f"/v1{path}")
+            s_old, h_old, b_old = client.request(path)
+            # Values may move between the two calls (counters,
+            # heartbeat ages); the alias contract is same status and
+            # same body shape.
+            b_v1 = sorted(b_v1)
+            b_old = sorted(b_old)
+            check(s_v1 == s_old and b_v1 == b_old,
+                  f"alias {path} answers like /v1{path}",
+                  f"{s_old} vs {s_v1}")
+            check(h_old.get("deprecation") == "true"
+                  and "deprecation" not in h_v1,
+                  f"alias {path} carries Deprecation, /v1{path} does not")
+        status, headers, body = client.request("/run", body={"config": CONFIG})
+        check(status == 200 and body.get("tier") == "memory",
+              "POST /run alias serves from cache",
+              f"status={status} tier={body.get('tier')}")
+        check(headers.get("deprecation") == "true"
+              and "successor-version" in headers.get("link", ""),
+              "POST /run alias carries Deprecation + successor Link")
+
+        # 5. Backpressure: 10 distinct configs against queue_limit=2,
+        # observed through a client with retries disabled.
+        raw_client = ServeClient(base, timeout_s=120.0, max_retries=0)
         m = 10
         overload = [None] * m
 
         def overload_fire(i: int) -> None:
             cfg = dict(CONFIG, seed=100 + i, window_ns=200_000.0)
-            overload[i] = request(base, "/v1/run", {"config": cfg})
+            try:
+                overload[i] = raw_client.run_detailed(cfg)
+            except ServeError as exc:
+                overload[i] = exc
 
         threads = [
             threading.Thread(target=overload_fire, args=(i,)) for i in range(m)
@@ -157,24 +197,39 @@ def main() -> int:
             t.start()
         for t in threads:
             t.join()
-        codes = sorted(o[0] for o in overload)
-        rejected = [o for o in overload if o[0] == 429]
-        served = [o for o in overload if o[0] == 200]
-        check(bool(rejected), "overload produced 429 rejections", str(codes))
-        check(bool(served), "admitted overload requests completed", str(codes))
-        check(all("Retry-After" in o[1] for o in rejected),
-              "429 responses carry Retry-After")
-        _, _, stats = request(base, "/stats")
+        rejected = [o for o in overload
+                    if isinstance(o, ServeRejectedError) and o.status == 429]
+        served = [o for o in overload if not isinstance(o, ServeError)]
+        other = [o for o in overload
+                 if isinstance(o, ServeError) and o not in rejected]
+        check(bool(rejected), "overload produced 429 rejections",
+              f"rejected={len(rejected)} served={len(served)} other={other}")
+        check(bool(served), "admitted overload requests completed")
+        check(all(o.retry_after_s is not None for o in rejected),
+              "429 rejections carry Retry-After")
+        stats = client.stats()
         check(stats["rejected_queue_full"] == len(rejected),
-              "/stats rejection counter matches observed 429s",
+              "/v1/stats rejection counter matches observed 429s",
               f"stats={stats['rejected_queue_full']} observed={len(rejected)}")
 
-        # 5. Graceful drain: SIGTERM with one request in flight.
+        # 6. Retry-on-429 path: a retrying client eventually lands the
+        # previously rejected config (queue is idle again by now).
+        retrying = ServeClient(base, timeout_s=120.0, max_retries=5)
+        retry_cfg = dict(CONFIG, seed=100, window_ns=200_000.0)
+        retried = retrying.run_detailed(retry_cfg)
+        check(retried.tier in ("memory", "disk", "simulated"),
+              "retrying client lands a previously rejected config",
+              f"tier={retried.tier}")
+
+        # 7. Graceful drain: SIGTERM with one request in flight.
         inflight = {}
 
         def slow_fire() -> None:
             cfg = dict(CONFIG, seed=999, window_ns=300_000.0)
-            inflight["outcome"] = request(base, "/v1/run", {"config": cfg})
+            try:
+                inflight["outcome"] = client.run_detailed(cfg)
+            except ServeError as exc:
+                inflight["outcome"] = exc
 
         slow = threading.Thread(target=slow_fire)
         slow.start()
@@ -182,19 +237,22 @@ def main() -> int:
         server.send_signal(signal.SIGTERM)
         # New work during the drain must be refused with 503 (the
         # listener may already be gone if the drain won the race).
+        probe = ServeClient(base, timeout_s=5.0, max_retries=0)
         try:
-            status, _, _ = request(base, "/v1/run", {"config": dict(CONFIG, seed=7)},
-                                   timeout=5.0)
-            check(status == 503, "request during drain refused with 503",
-                  f"status={status}")
-        except (urllib.error.URLError, ConnectionError, OSError):
+            probe.run(dict(CONFIG, seed=7))
+            check(False, "request during drain refused with 503",
+                  "unexpected 200")
+        except ServeRejectedError as exc:
+            check(exc.status == 503, "request during drain refused with 503",
+                  f"status={exc.status}")
+        except ServeError:
             print("[serve-smoke] ok: drain finished before the probe connected")
         slow.join(timeout=120)
         check(not slow.is_alive(), "in-flight request resolved during drain")
         outcome = inflight.get("outcome")
-        check(outcome is not None and outcome[0] == 200,
+        check(outcome is not None and not isinstance(outcome, ServeError),
               "in-flight request completed with 200 during drain",
-              f"outcome={outcome and outcome[0]}")
+              f"outcome={outcome!r}")
         try:
             exit_code = server.wait(timeout=60)
         except subprocess.TimeoutExpired:

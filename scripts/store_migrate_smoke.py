@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of ``repro-mnet store migrate`` (CI serve job step).
+
+Exercises the operational story docs/serving.md tells for adopting the
+SQLite backend on an existing installation:
+
+1. seed a JSON-directory cache with two real CLI runs;
+2. ``repro-mnet store migrate`` copies every entry into
+   ``results.sqlite``, verifying counts and sampled payload equality;
+3. ``repro-mnet store stats --store sqlite`` agrees on the entry count;
+4. a repeat ``repro-mnet run --store sqlite`` is served from the
+   migrated store (``# 0 simulated``) with stdout byte-identical to the
+   original JSON-backed run.
+
+Run from the repository root::
+
+    python scripts/store_migrate_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+RUNS = [
+    ["--workload", "mixB", "--window-us", "40", "--epoch-us", "10"],
+    ["--workload", "sp.D", "--window-us", "40", "--epoch-us", "10",
+     "--mechanism", "VWL", "--policy", "unaware"],
+]
+
+FAILURES = []
+
+
+def check(ok: bool, label: str, detail: str = "") -> None:
+    """Record one assertion; failures are fatal at exit, not mid-run."""
+    status = "ok" if ok else "FAIL"
+    print(f"[store-migrate-smoke] {status}: {label}"
+          + (f" ({detail})" if detail else ""))
+    if not ok:
+        FAILURES.append(label)
+
+
+def main() -> int:
+    """Run the smoke sequence; returns a process exit code."""
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="store-migrate-smoke-"))
+    cache_dir = workdir / "cache"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    cli = [sys.executable, "-m", "repro.cli"]
+
+    def run_cli(args):
+        return subprocess.run(cli + args, capture_output=True, text=True,
+                              env=env, cwd=REPO)
+
+    # 1. Seed the JSON cache with real runs.
+    json_stdout = []
+    for flags in RUNS:
+        proc = run_cli(["run", *flags, "--cache-dir", str(cache_dir)])
+        check(proc.returncode == 0, f"seed run exits 0 ({flags[1]})",
+              proc.stderr.strip())
+        json_stdout.append(proc.stdout)
+
+    # 2. Migrate into results.sqlite with verification on.
+    proc = run_cli(["store", "migrate", "--cache-dir", str(cache_dir)])
+    print(proc.stdout, end="")
+    check(proc.returncode == 0, "store migrate exits 0", proc.stderr.strip())
+    check("verified           OK" in proc.stdout,
+          "migration verification reports OK")
+    check(f"migrated           {len(RUNS)}" in proc.stdout,
+          f"all {len(RUNS)} entries migrated")
+    sqlite_path = cache_dir / "results.sqlite"
+    check(sqlite_path.is_file(), "results.sqlite exists next to the JSON dirs")
+
+    # 3. The sqlite backend agrees on what it now holds.
+    proc = run_cli(["store", "stats", "--store", "sqlite",
+                    "--cache-dir", str(cache_dir)])
+    check(proc.returncode == 0, "store stats exits 0", proc.stderr.strip())
+    stats = dict(
+        line.split(None, 1) for line in proc.stdout.splitlines() if line.strip()
+    )
+    check(stats.get("backend") == "sqlite", "stats reports the sqlite backend")
+    check(stats.get("entries") == str(len(RUNS)),
+          f"stats reports {len(RUNS)} entries", str(stats.get("entries")))
+
+    # 4. Repeat runs against the migrated store: served from disk,
+    # stdout byte-identical to the JSON-backed originals.
+    for flags, expected in zip(RUNS, json_stdout):
+        proc = run_cli(["run", *flags, "--cache-dir", str(cache_dir),
+                        "--store", "sqlite"])
+        check(proc.returncode == 0,
+              f"sqlite-backed rerun exits 0 ({flags[1]})", proc.stderr.strip())
+        check("# 0 simulated" in proc.stderr,
+              f"rerun served from the migrated store ({flags[1]})",
+              proc.stderr.strip())
+        check(proc.stdout == expected,
+              f"rerun stdout byte-identical to the JSON run ({flags[1]})")
+
+    if FAILURES:
+        print(f"[store-migrate-smoke] {len(FAILURES)} check(s) FAILED: "
+              f"{FAILURES}")
+        return 1
+    print("[store-migrate-smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,15 @@ Quickstart::
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
+
+The names re-exported here (``__all__``) are the package's **stable v1
+surface** -- the facade external code should import from: experiment
+entry points (:class:`ExperimentConfig`, :func:`run_experiment`,
+:class:`SweepRunner`), the result-store layer (:class:`ResultStore`,
+:class:`JsonDirStore`, :class:`SqliteStore`, :func:`make_store`), and
+the serve client (:class:`ServeClient`, :class:`ServeError`).
+Anything importable but not listed in docs/api.md's "Stable v1
+surface" section is internal and may change without notice.
 """
 
 import repro.analysis  # noqa: F401  (analytical models subpackage)
@@ -52,7 +61,9 @@ from repro.network import (
 )
 from repro.power import DEFAULT_POWER_MODEL, HmcPowerModel, PowerBreakdown
 from repro.registry import Registry
+from repro.serve.client import ServeClient, ServeError
 from repro.sim import Simulator
+from repro.store import JsonDirStore, ResultStore, SqliteStore, make_store
 from repro.validation import (
     AuditViolationError,
     ValidationReport,
@@ -91,6 +102,12 @@ __all__ = [
     "RunSettings",
     "SweepRunner",
     "SimulationBuilder",
+    "ResultStore",
+    "JsonDirStore",
+    "SqliteStore",
+    "make_store",
+    "ServeClient",
+    "ServeError",
     "Registry",
     "Violation",
     "ValidationReport",

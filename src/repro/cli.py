@@ -10,6 +10,7 @@ Subcommands::
     repro-mnet bench --out BENCH.json    # performance microbenchmarks
     repro-mnet validate --quick          # invariant-validation suite
     repro-mnet serve --port 8642         # long-running experiment service
+    repro-mnet store migrate             # JSON cache dir -> SQLite file
 
 The ``figure`` subcommand accepts: fig4, fig5, fig6, fig8, fig9, fig11,
 fig12, fig13, fig15, fig16, fig17, fig18, sec7, and hetero-depth (a
@@ -20,9 +21,18 @@ Simulating subcommands (``run``, ``figure``, ``sweep-alpha``, ``batch``)
 share the execution flags: ``--jobs N`` fans cache misses out over a
 process pool, ``--cache-dir PATH`` relocates the persistent result
 cache (default ``~/.cache/repro-mnet``, or ``$REPRO_CACHE_DIR``),
-``--no-cache`` disables the disk cache for that invocation, and
-``--timeout SECS`` / ``--retries N`` bound each experiment's wall clock
-and retry crashed/hung workers (see docs/resilience.md).
+``--store json|sqlite`` picks the result-store backend (JSON files per
+result, or one WAL-mode SQLite file with bulk lookups; see
+docs/architecture.md), ``--no-cache`` disables the disk cache for that
+invocation, and ``--timeout SECS`` / ``--retries N`` bound each
+experiment's wall clock and retry crashed/hung workers (see
+docs/resilience.md).
+
+``store`` manages the persistent cache itself: ``store migrate``
+converts a JSON cache directory into a SQLite file (verifying entry
+counts and spot-checking payload byte-equality), ``store stats``
+prints backend/entry/size counters, and ``store compact`` drops
+stale-schema entries and quarantined debris.
 
 ``sweep-alpha`` and ``batch`` additionally accept ``--journal PATH`` to
 checkpoint every outcome as it lands, and ``--resume`` to replay a
@@ -39,7 +49,6 @@ import argparse
 import sys
 
 from repro.core.mechanisms import MECHANISMS, MECHANISM_NAMES
-from repro.harness.diskcache import DiskCache
 from repro.harness.executor import FailedResult, make_executor
 from repro.harness.experiment import ExperimentConfig, POLICY_NAMES
 from repro.harness import figures as F
@@ -48,18 +57,26 @@ from repro.harness.report import format_table, render_run_summary
 from repro.harness.sweep import ExperimentFailedError, SweepRunner
 from repro.obs import ALL_CATEGORIES, TRACE_FORMATS
 from repro.network.topology import TOPOLOGY_BUILDERS, TOPOLOGY_NAMES
+from repro.store import STORE_BACKENDS, make_store
 from repro.workloads import WORKLOAD_NAMES, get_profile
 from repro.workloads.mapping import MAPPINGS, MAPPING_NAMES
 
 __all__ = ["main"]
 
 
+def _make_store_from_args(args):
+    """The result store selected by ``--store``/``--cache-dir``/``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    try:
+        return make_store(getattr(args, "store", "json"), args.cache_dir)
+    except (NotADirectoryError, IsADirectoryError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _make_runner(args) -> SweepRunner:
     """A SweepRunner honouring the shared execution flags."""
-    try:
-        disk = None if args.no_cache else DiskCache(args.cache_dir)
-    except NotADirectoryError as exc:
-        raise SystemExit(f"error: {exc}")
+    disk = _make_store_from_args(args)
     executor = make_executor(
         args.jobs,
         timeout_s=getattr(args, "timeout", None),
@@ -245,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent result cache location "
              "(default: $REPRO_CACHE_DIR or ~/.cache/repro-mnet)")
     exec_group.add_argument(
+        "--store", choices=list(STORE_BACKENDS), default="json",
+        help="result-store backend: 'json' (one file per result, the "
+             "historical layout) or 'sqlite' (single WAL-mode file with "
+             "bulk lookups) (default: json)")
+    exec_group.add_argument(
         "--no-cache", action="store_true",
         help="skip the persistent result cache for this invocation")
     exec_group.add_argument(
@@ -425,6 +447,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--verbose", action="store_true",
         help="log one line per HTTP request to stderr")
+
+    store_p = sub.add_parser(
+        "store",
+        help="inspect, compact, or migrate the persistent result store")
+    store_p.add_argument(
+        "action", choices=["migrate", "stats", "compact"],
+        help="migrate: convert a JSON cache dir to a SQLite file "
+             "(verifies counts + payload equality); stats: print "
+             "backend, entry, and counter info; compact: drop "
+             "stale-schema entries and quarantined debris")
+    store_p.add_argument(
+        "--store", choices=list(STORE_BACKENDS), default="json",
+        help="backend for stats/compact (default: json; migrate always "
+             "reads JSON and writes SQLite)")
+    store_p.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache location to operate on "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro-mnet)")
+    store_p.add_argument(
+        "--to", default=None, metavar="FILE",
+        help="migrate: destination SQLite file "
+             "(default: <cache-dir>/results.sqlite)")
+    store_p.add_argument(
+        "--sample", type=int, default=8, metavar="N",
+        help="migrate: migrated payloads to read back and compare "
+             "byte-for-byte against the source (default: 8)")
 
     val_p = sub.add_parser(
         "validate",
@@ -697,10 +745,7 @@ def _cmd_validate(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.serve import ExperimentService, ServiceSettings, run_server
 
-    try:
-        disk = None if args.no_cache else DiskCache(args.cache_dir)
-    except NotADirectoryError as exc:
-        raise SystemExit(f"error: {exc}")
+    disk = _make_store_from_args(args)
     executor = make_executor(args.jobs, timeout_s=args.timeout,
                              retries=args.retries)
     if args.resume and not args.journal:
@@ -737,6 +782,41 @@ def _cmd_serve(args) -> int:
         verbose=args.verbose,
         drain_timeout_s=args.drain_timeout,
     )
+
+
+def _cmd_store(args) -> int:
+    from repro.store import (
+        DEFAULT_SQLITE_FILENAME,
+        JsonDirStore,
+        SqliteStore,
+        migrate_json_to_sqlite,
+    )
+
+    if args.action == "migrate":
+        try:
+            source = JsonDirStore(args.cache_dir)
+            dest_path = (
+                args.to
+                if args.to
+                else source.root / DEFAULT_SQLITE_FILENAME
+            )
+            dest = SqliteStore(dest_path)
+        except (NotADirectoryError, IsADirectoryError) as exc:
+            raise SystemExit(f"error: {exc}")
+        print(f"migrating {source.directory} -> {dest.path}")
+        report = migrate_json_to_sqlite(source, dest, sample=args.sample)
+        for line in report.summary_lines():
+            print(f"  {line}")
+        if not report.ok:
+            print("error: migration verification failed", file=sys.stderr)
+            return 1
+        return 0
+    store = _make_store_from_args(args)
+    summary = store.stats() if args.action == "stats" else store.compact()
+    width = max(len(key) for key in summary)
+    for key, value in summary.items():
+        print(f"{key:<{width}}  {value}")
+    return 0
 
 
 def _cmd_batch(args) -> int:
@@ -795,6 +875,8 @@ def main(argv=None) -> int:
         return _cmd_validate(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "store":
+        return _cmd_store(args)
     return 2
 
 

@@ -5,8 +5,11 @@ compared against the matching full-power baseline; Figure 15 compares
 aware against unaware on identical grids).  :class:`SweepRunner` caches
 :class:`ExperimentResult` objects by
 :meth:`~repro.harness.experiment.ExperimentConfig.cache_key` in two
-layers -- an in-process dict and an optional persistent
-:class:`~repro.harness.diskcache.DiskCache` shared across invocations --
+layers -- an in-process dict and an optional persistent disk tier
+shared across invocations (a classic
+:class:`~repro.harness.diskcache.DiskCache` or any
+:class:`~repro.store.base.ResultStore` backend; store backends answer
+a whole chunk's probe with one ``get_many`` batch) --
 and delegates cache misses to an
 :class:`~repro.harness.executor.Executor` (serial by default; pass a
 :class:`~repro.harness.executor.ParallelExecutor` to fan batches out
@@ -160,6 +163,30 @@ class SweepRunner:
         self.runs += 1
         self.sim_wall_time_s += result.wall_time_s
 
+    def _disk_probe(
+        self, pending: Dict[str, ExperimentConfig]
+    ) -> Dict[str, ExperimentResult]:
+        """Probe the disk tier for a whole sweep chunk at once.
+
+        A :class:`~repro.store.base.ResultStore` backend answers the
+        chunk with one ``get_many`` call (one query for the SQLite
+        backend, instead of N stat/open/parse round-trips); a plain
+        :class:`DiskCache` falls back to the per-key loop.  Hit/miss
+        counters are identical either way.
+        """
+        assert self.disk_cache is not None
+        if not pending:
+            return {}
+        bulk = getattr(self.disk_cache, "get_many", None)
+        if bulk is not None:
+            return bulk(pending.values())
+        found: Dict[str, ExperimentResult] = {}
+        for key, config in pending.items():
+            result = self.disk_cache.get(config)
+            if result is not None:
+                found[key] = result
+        return found
+
     def _record_failure(
         self, config: ExperimentConfig, failure: FailedResult
     ) -> None:
@@ -257,15 +284,15 @@ class SweepRunner:
                 config.collect_link_hours and not previous.collect_link_hours
             ):
                 pending[key] = config
+        found = self._disk_probe(pending) if self.disk_cache is not None else {}
         missing: List[ExperimentConfig] = []
-        for config in pending.values():
-            if self.disk_cache is not None:
-                result = self.disk_cache.get(config)
-                if result is not None and self._satisfies(result, config):
-                    self.disk_hits += 1
-                    self.cache[config.cache_key()] = result
-                    continue
-            missing.append(config)
+        for key, config in pending.items():
+            result = found.get(key)
+            if result is not None and self._satisfies(result, config):
+                self.disk_hits += 1
+                self.cache[key] = result
+            else:
+                missing.append(config)
         if missing:
             # Stream each outcome into the cache/journal as it lands
             # (completion order), so killing the process mid-batch

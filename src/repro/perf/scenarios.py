@@ -440,3 +440,76 @@ def _e2e_hetero(quick: bool) -> Callable[[], Tuple[int, str]]:
         seed=1,
     )
     return lambda: _e2e(kwargs)
+
+# ----------------------------------------------------------------------
+# result store -- the warm-sweep bulk-lookup path
+# ----------------------------------------------------------------------
+@register(
+    "store_bulk_lookup",
+    "warm sweep probe over both store backends: per-key JSON reads "
+    "plus one SqliteStore.get_many batch",
+    repeats=3,
+    quick_repeats=2,
+)
+def _store_bulk_lookup(quick: bool) -> Callable[[], Tuple[int, str]]:
+    # Seeding both backends is factory work (untimed); work() measures
+    # the lookup path a warm SweepRunner actually takes -- the sqlite
+    # batch answers the same probes in one IN-query instead of n file
+    # opens, which is the layer's headline win.
+    import tempfile
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.harness.experiment import ExperimentConfig, ExperimentResult
+    from repro.power.accounting import PowerBreakdown
+    from repro.store import JsonDirStore, SqliteStore
+
+    n = 80 if quick else 200
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+    root = Path(tmp.name)
+    base = ExperimentConfig(
+        workload="mixB", window_ns=30_000.0, epoch_ns=10_000.0
+    )
+    entries = []
+    for i in range(n):
+        config = base.replace(seed=5_000 + i)
+        result = ExperimentResult(
+            config=config,
+            num_modules=16,
+            breakdown=PowerBreakdown(watts={
+                "idle_io": 2.0 + i * 1e-3,
+                "active_io": 1.0,
+                "logic_leak": 0.5,
+                "logic_dyn": 0.5,
+                "dram_leak": 0.5,
+                "dram_dyn": 0.5,
+            }),
+            throughput_per_s=1e9 + i,
+            avg_read_latency_ns=100.0 + i,
+            max_read_latency_ns=500.0,
+            channel_utilization=0.5,
+            link_utilization=0.1,
+            avg_modules_traversed=2.0,
+            completed_reads=10_000 + i,
+            completed_writes=500,
+            events_processed=1_234 + i,
+            wall_time_s=0.0,
+        )
+        entries.append((config, result))
+    json_store = JsonDirStore(root / "json")
+    sqlite_store = SqliteStore(root / "results.sqlite")
+    json_store.put_many(entries)
+    sqlite_store.put_many(entries)
+    configs = [config for config, _ in entries]
+
+    def work() -> Tuple[int, str]:
+        _hold = tmp  # keep the seeded temp dir alive across the run
+        per_key = {c.cache_key(): json_store.get(c) for c in configs}
+        bulk = sqlite_store.get_many(configs)
+        marks = tuple(
+            (key, per_key[key].completed_reads, bulk[key].completed_reads)
+            for key in sorted(bulk)
+        )
+        return 2 * n, fingerprint(len(per_key), len(bulk), marks)
+
+    return work

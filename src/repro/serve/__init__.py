@@ -10,13 +10,17 @@ Requests are answered through a tiered path::
     HTTP request
         |-- single-flight join (identical in-flight request? attach)
         |-- memory tier   LruResultCache   (bounded, LRU-evicted)
-        |-- disk tier     DiskCache        (persistent, shared with CLI)
+        |-- disk tier     ResultStore      (persistent, shared with CLI:
+        |                                   JSON dir or SQLite backend)
         `-- simulate      Executor batch   (coalesced, bounded queue)
 
 with admission control (429 when the simulation queue is full, 503
-while draining), graceful SIGTERM drain, and ``/healthz`` / ``/stats``
-/ ``/metrics`` endpoints wired into the observability layer's
-:class:`~repro.obs.metrics.MetricsRegistry`.
+while draining), graceful SIGTERM drain, and ``/v1/healthz`` /
+``/v1/stats`` / ``/v1/metrics`` endpoints wired into the observability
+layer's :class:`~repro.obs.metrics.MetricsRegistry`.  The HTTP surface
+is versioned under ``/v1/`` (unversioned paths still answer, marked
+``Deprecation``), and :class:`~repro.serve.client.ServeClient` is the
+supported Python caller.
 
 The self-healing layer sits on top: a
 :class:`~repro.serve.supervisor.Supervisor` heartbeat-checks the
@@ -32,6 +36,16 @@ See docs/serving.md for the API schema and worked examples, and
 docs/resilience.md for supervision semantics.
 """
 
+from repro.serve.client import (
+    ServeBadRequestError,
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+    ServeRejectedError,
+    ServeRunOutcome,
+    ServeSimulationError,
+    ServeTimeoutError,
+)
 from repro.serve.breaker import (
     BreakerBoard,
     BreakerDecision,
@@ -46,7 +60,13 @@ from repro.serve.degrade import (
     degraded_payload,
     make_degraded_result,
 )
-from repro.serve.http import ExperimentServer, ServeHandler, run_server
+from repro.serve.http import (
+    API_PREFIX,
+    API_VERSION,
+    ExperimentServer,
+    ServeHandler,
+    run_server,
+)
 from repro.serve.lru import LruResultCache
 from repro.serve.service import (
     AdmissionError,
@@ -60,6 +80,8 @@ from repro.serve.service import (
 from repro.serve.supervisor import SERVICE_STATES, Supervisor, backoff_delay
 
 __all__ = [
+    "API_PREFIX",
+    "API_VERSION",
     "AdmissionError",
     "BreakerBoard",
     "BreakerDecision",
@@ -75,7 +97,15 @@ __all__ = [
     "QueueFullError",
     "RequestTicket",
     "SERVICE_STATES",
+    "ServeBadRequestError",
+    "ServeClient",
+    "ServeConnectionError",
+    "ServeError",
     "ServeHandler",
+    "ServeRejectedError",
+    "ServeRunOutcome",
+    "ServeSimulationError",
+    "ServeTimeoutError",
     "ServiceSettings",
     "Supervisor",
     "backoff_delay",

@@ -1,15 +1,18 @@
 """Local HTTP+JSON front end for :class:`ExperimentService`.
 
-Endpoints (see docs/serving.md for the full schema):
+The API is versioned under ``/v1/`` (see docs/serving.md for the full
+schema):
 
-* ``GET /healthz`` -- the supervisor's health state machine; 200 while
-  ``healthy`` or ``degraded``, 503 while ``draining`` or ``unhealthy``;
-* ``GET /healthz/live`` -- liveness probe: 200 unless ``unhealthy``;
-* ``GET /healthz/ready`` -- readiness probe: 200 only while the service
-  should receive traffic (``healthy`` / ``degraded``);
-* ``GET /stats`` -- the service counters (tiers, dedup, queue, latency);
-* ``GET /metrics`` -- the raw :class:`~repro.obs.metrics.MetricsRegistry`
-  dump plus p50/p95 quantiles of the latency histogram;
+* ``GET /v1/healthz`` -- the supervisor's health state machine; 200
+  while ``healthy`` or ``degraded``, 503 while ``draining`` or
+  ``unhealthy``;
+* ``GET /v1/healthz/live`` -- liveness probe: 200 unless ``unhealthy``;
+* ``GET /v1/healthz/ready`` -- readiness probe: 200 only while the
+  service should receive traffic (``healthy`` / ``degraded``);
+* ``GET /v1/stats`` -- service counters (tiers, dedup, queue, latency);
+* ``GET /v1/metrics`` -- the raw
+  :class:`~repro.obs.metrics.MetricsRegistry` dump plus p50/p95
+  quantiles of the latency histogram;
 * ``POST /v1/run`` -- one experiment config (JSON body); answers with
   the cache tier that served it, the full result payload (the disk
   cache's lossless dict shape), and a ``summary`` string byte-identical
@@ -17,6 +20,11 @@ Endpoints (see docs/serving.md for the full schema):
 * ``POST /v1/batch`` -- ``{"configs": [...]}``; per-item outcomes in
   input order (individual items may be rejected with 429 semantics
   while the rest proceed).
+
+Every endpoint also answers at its historical *unversioned* path
+(``/healthz``, ``/run``, ...) with an identical status and body, plus a
+``Deprecation: true`` header and a ``Link: </v1/...>;
+rel="successor-version"`` pointer; new clients should use ``/v1/``.
 
 Backpressure maps to HTTP statuses: 429 + ``Retry-After`` when the
 bounded simulation queue is full, 503 while draining or when a config
@@ -53,7 +61,28 @@ from repro.serve.service import (
     RequestTicket,
 )
 
-__all__ = ["ExperimentServer", "ServeHandler", "run_server"]
+__all__ = ["API_VERSION", "API_PREFIX", "ExperimentServer", "ServeHandler", "run_server"]
+
+#: Current (only) API version; the canonical path prefix is ``/v1``.
+API_VERSION = "v1"
+
+#: Path prefix every canonical endpoint lives under.
+API_PREFIX = f"/{API_VERSION}"
+
+
+def _split_version(path: str) -> Tuple[str, Optional[Dict]]:
+    """``(unprefixed path, alias headers)`` for a request path.
+
+    A ``/v1/...`` path is canonical (no extra headers); anything else
+    is treated as a deprecated unversioned alias and answered with the
+    same body plus ``Deprecation`` + successor ``Link`` headers.
+    """
+    if path == API_PREFIX or path.startswith(API_PREFIX + "/"):
+        return path[len(API_PREFIX):] or "/", None
+    return path, {
+        "Deprecation": "true",
+        "Link": f'<{API_PREFIX}{path}>; rel="successor-version"',
+    }
 
 
 class _BadRequest(ValueError):
@@ -144,6 +173,10 @@ class ServeHandler(BaseHTTPRequestHandler):
         """The experiment service this server fronts."""
         return self.server.service  # type: ignore[attr-defined]
 
+    #: Extra headers for the in-flight request: set per request when it
+    #: arrived via a deprecated unversioned alias, cleared on 404.
+    _alias_headers: Optional[Dict] = None
+
     def _send_json(
         self, status: int, payload: Dict, headers: Optional[Dict] = None
     ) -> None:
@@ -151,6 +184,8 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (self._alias_headers or {}).items():
+            self.send_header(name, value)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -168,26 +203,28 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # -- GET endpoints -------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Serve /healthz (plus /live and /ready), /stats, /metrics."""
-        if self.path == "/healthz":
+        """Serve /v1/healthz (plus /live, /ready), /v1/stats, /v1/metrics
+        and their deprecated unversioned aliases."""
+        route, self._alias_headers = _split_version(self.path)
+        if route == "/healthz":
             health = self.service.health()
             ok = health["status"] in ("healthy", "degraded")
             self._send_json(200 if ok else 503, health)
-        elif self.path == "/healthz/live":
+        elif route == "/healthz/live":
             health = self.service.health()
             self._send_json(
                 200 if health["live"] else 503,
                 {"live": health["live"], "status": health["status"]},
             )
-        elif self.path == "/healthz/ready":
+        elif route == "/healthz/ready":
             health = self.service.health()
             self._send_json(
                 200 if health["ready"] else 503,
                 {"ready": health["ready"], "status": health["status"]},
             )
-        elif self.path == "/stats":
+        elif route == "/stats":
             self._send_json(200, self.service.stats())
-        elif self.path == "/metrics":
+        elif route == "/metrics":
             registry = self.service.registry
             payload = registry.as_dict()
             hist = registry.histogram("serve.latency_ms", LATENCY_EDGES_MS)
@@ -199,17 +236,20 @@ class ServeHandler(BaseHTTPRequestHandler):
             }
             self._send_json(200, payload)
         else:
+            self._alias_headers = None
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
     # -- POST endpoints ------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Serve /v1/run and /v1/batch."""
-        if self.path not in ("/v1/run", "/v1/batch"):
+        """Serve /v1/run and /v1/batch (and their unversioned aliases)."""
+        route, self._alias_headers = _split_version(self.path)
+        if route not in ("/run", "/batch"):
+            self._alias_headers = None
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
         try:
             data = self._read_json()
-            if self.path == "/v1/run":
+            if route == "/run":
                 self._handle_run(data)
             else:
                 self._handle_batch(data)

@@ -913,6 +913,14 @@ class ExperimentService:
                 "writes": self.disk_cache.writes,
                 "quarantined": self.disk_cache.quarantined,
             }
+            # ResultStore backends identify themselves; a bare DiskCache
+            # (no stats()) keeps the historical four-counter payload.
+            backend_stats = getattr(self.disk_cache, "stats", None)
+            if backend_stats is not None:
+                snapshot = backend_stats()
+                for key in ("backend", "path", "entries", "size_bytes"):
+                    if key in snapshot:
+                        stats["disk_cache"][key] = snapshot[key]
         if self.journal is not None:
             stats["journal"] = {
                 "path": str(self.journal.path),

@@ -1,0 +1,108 @@
+"""JSON-directory result store: the historical DiskCache layout.
+
+:class:`JsonDirStore` *is* a :class:`~repro.harness.diskcache.DiskCache`
+-- same ``<root>/v<schema>-<version>/<key>.json`` files, same atomic
+writes, same ``quarantine/`` subdirectory and counter semantics -- with
+the rest of the :class:`~repro.store.base.ResultStore` surface layered
+on top.  Any cache directory written by earlier releases keeps working
+unchanged, and anything this store writes remains readable by a plain
+``DiskCache``.
+
+Bulk reads cannot beat per-key probes here (the filesystem is the
+index), so ``get_many`` is a loop; the point of the shared protocol is
+that :class:`~repro.store.sqlite.SqliteStore` answers the same call
+with one query.
+"""
+
+from __future__ import annotations
+
+import shutil
+from typing import Dict, Iterable, Tuple
+
+from repro.harness.diskcache import DiskCache
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
+from repro.store.base import distinct_configs
+
+__all__ = ["JsonDirStore"]
+
+
+class JsonDirStore(DiskCache):
+    """``ResultStore`` backend over one-JSON-file-per-result directories."""
+
+    def get_many(
+        self, configs: Iterable[ExperimentConfig]
+    ) -> Dict[str, ExperimentResult]:
+        """Per-key probe loop over the directory; ``{key: result}`` hits."""
+        found: Dict[str, ExperimentResult] = {}
+        for key, config in distinct_configs(configs):
+            result = self.get(config)
+            if result is not None:
+                found[key] = result
+        return found
+
+    def put_many(
+        self, items: Iterable[Tuple[ExperimentConfig, ExperimentResult]]
+    ) -> int:
+        """Write each pair atomically; returns the number written."""
+        count = 0
+        for config, result in items:
+            self.put(config, result)
+            count += 1
+        return count
+
+    def contains(self, config: ExperimentConfig) -> bool:
+        """Whether the entry file exists (counters untouched)."""
+        return self.path_for(config).is_file()
+
+    def stats(self) -> Dict[str, object]:
+        """Counters plus entry count, on-disk size, and quarantine depth."""
+        entries = len(self)
+        size = 0
+        quarantine_entries = 0
+        if self.directory.is_dir():
+            size = sum(
+                p.stat().st_size
+                for p in self.directory.glob("*.json")
+                if p.is_file()
+            )
+            quarantine_dir = self.directory / "quarantine"
+            if quarantine_dir.is_dir():
+                quarantine_entries = sum(
+                    1 for p in quarantine_dir.iterdir() if p.is_file()
+                )
+        return {
+            "backend": "json",
+            "path": str(self.root),
+            "schema": self.schema_tag,
+            "entries": entries,
+            "size_bytes": size,
+            "quarantine_entries": quarantine_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "quarantined": self.quarantined,
+        }
+
+    def compact(self) -> Dict[str, int]:
+        """Delete stale schema-tag directories and quarantined debris.
+
+        Live entries under the active tag are never touched.  Returns
+        ``removed_entries`` (stale + quarantined files deleted) and
+        ``removed_dirs`` (stale schema directories pruned).
+        """
+        removed_entries = 0
+        removed_dirs = 0
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if not child.is_dir() or child.name == self.schema_tag:
+                    continue
+                removed_entries += sum(1 for p in child.rglob("*") if p.is_file())
+                shutil.rmtree(child, ignore_errors=True)
+                removed_dirs += 1
+        quarantine_dir = self.directory / "quarantine"
+        if quarantine_dir.is_dir():
+            removed_entries += sum(
+                1 for p in quarantine_dir.iterdir() if p.is_file()
+            )
+            shutil.rmtree(quarantine_dir, ignore_errors=True)
+        return {"removed_entries": removed_entries, "removed_dirs": removed_dirs}

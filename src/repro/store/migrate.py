@@ -1,0 +1,130 @@
+"""JSON-directory -> SQLite cache migration with verification.
+
+``migrate_json_to_sqlite`` walks the *active* schema-tag directory of a
+:class:`~repro.store.jsondir.JsonDirStore` (stale-version directories
+are never migrated -- they would be misses in either backend), copies
+each payload verbatim into a :class:`~repro.store.sqlite.SqliteStore`,
+then verifies the move two ways:
+
+- **counts**: every readable source entry must be present in the
+  destination (``report.ok`` is false otherwise);
+- **payload equality**: a deterministic sample of migrated keys is read
+  back from the destination and compared byte-for-byte against the
+  source payload (both sides canonicalized with sorted keys, so JSON
+  whitespace differences cannot mask or fake a mismatch).
+
+Corrupt source files are skipped and counted, not copied -- migrating
+garbage would just move the quarantine problem.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.store.jsondir import JsonDirStore
+from repro.store.sqlite import SqliteStore, _decode_payload
+
+__all__ = ["MigrationReport", "migrate_json_to_sqlite"]
+
+
+def _canonical(payload: object) -> bytes:
+    """Key-sorted compact JSON bytes; the unit of byte-equality checks."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one JSON->SQLite migration run."""
+
+    #: Source files considered (``*.json`` under the active schema tag).
+    scanned: int = 0
+    #: Entries copied into the destination.
+    migrated: int = 0
+    #: Source files that failed to parse and were left behind.
+    skipped_corrupt: int = 0
+    #: Source files whose recorded key did not match their filename.
+    skipped_mismatched_key: int = 0
+    #: Destination entry count after migration (active schema tag).
+    dest_entries: int = 0
+    #: Keys whose payloads were read back and compared byte-for-byte.
+    sampled: int = 0
+    #: Sampled keys whose destination payload differed from the source.
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when counts line up and every sampled payload matched."""
+        return (
+            self.dest_entries >= self.migrated
+            and self.migrated == self.scanned - self.skipped_corrupt
+            - self.skipped_mismatched_key
+            and not self.mismatches
+        )
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report rows for the CLI."""
+        lines = [
+            f"scanned            {self.scanned}",
+            f"migrated           {self.migrated}",
+            f"skipped (corrupt)  {self.skipped_corrupt}",
+            f"skipped (bad key)  {self.skipped_mismatched_key}",
+            f"dest entries       {self.dest_entries}",
+            f"sampled payloads   {self.sampled} "
+            f"({len(self.mismatches)} mismatched)",
+            f"verified           {'OK' if self.ok else 'FAILED'}",
+        ]
+        return lines
+
+
+def migrate_json_to_sqlite(
+    source: JsonDirStore, dest: SqliteStore, sample: int = 8
+) -> MigrationReport:
+    """Copy every readable active-tag entry from ``source`` to ``dest``.
+
+    ``sample`` bounds how many migrated keys are read back for the
+    byte-equality spot check (the first N in sorted-key order, so the
+    check is deterministic).  Returns a :class:`MigrationReport`; the
+    caller decides whether a not-``ok`` report is fatal.
+    """
+    report = MigrationReport()
+    directory = source.directory
+    if not directory.is_dir():
+        return report
+    migrated_payloads = {}
+    for path in sorted(directory.glob("*.json")):
+        report.scanned += 1
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+            if not isinstance(payload, dict) or "result" not in payload:
+                raise ValueError("not a cache payload")
+        except (OSError, json.JSONDecodeError, ValueError):
+            report.skipped_corrupt += 1
+            continue
+        key = str(payload.get("key", path.stem))
+        if key != path.stem:
+            report.skipped_mismatched_key += 1
+            continue
+        dest.put_payload(key, payload)
+        migrated_payloads[key] = payload
+        report.migrated += 1
+    report.dest_entries = len(dest)
+    conn = dest._conn()
+    for key in sorted(migrated_payloads)[: max(0, sample)]:
+        report.sampled += 1
+        row = conn.execute(
+            "SELECT payload FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            report.mismatches.append(key)
+            continue
+        try:
+            stored = _decode_payload(row[0])
+        except Exception:
+            report.mismatches.append(key)
+            continue
+        if _canonical(stored) != _canonical(migrated_payloads[key]):
+            report.mismatches.append(key)
+    return report

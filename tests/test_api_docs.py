@@ -30,6 +30,7 @@ PUBLIC_MODULES = (
     "repro.power",
     "repro.serve",
     "repro.sim",
+    "repro.store",
     "repro.validation",
     "repro.workloads",
     "repro.registry",

@@ -526,3 +526,248 @@ class TestRealSimulationThroughService:
         expected.pop("wall_time_s")
         assert served == expected
         assert service.drain(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# API versioning: /v1/ is canonical, unversioned paths are aliases
+# ----------------------------------------------------------------------
+class TestApiVersioning:
+    GET_PATHS = ("/healthz", "/healthz/live", "/healthz/ready",
+                 "/stats", "/metrics")
+
+    def test_aliases_answer_like_v1(self, http_server):
+        base, _, _ = http_server
+        for path in self.GET_PATHS:
+            s_v1, _, b_v1 = http_request(base + "/v1" + path)
+            s_old, _, b_old = http_request(base + path)
+            # Bodies can carry time-varying values (heartbeat ages);
+            # the alias contract is same status and same shape.
+            assert s_old == s_v1, path
+            assert sorted(b_old) == sorted(b_v1), path
+
+    def test_alias_carries_deprecation_and_successor_link(self, http_server):
+        base, _, _ = http_server
+        for path in self.GET_PATHS:
+            _, h_old, _ = http_request(base + path)
+            assert h_old.get("Deprecation") == "true", path
+            link = h_old.get("Link", "")
+            assert f"</v1{path}>" in link and "successor-version" in link, path
+            _, h_v1, _ = http_request(base + "/v1" + path)
+            assert "Deprecation" not in h_v1, path
+
+    def test_post_run_alias(self, http_server):
+        base, _, _ = http_server
+        s_v1, h_v1, b_v1 = http_request(base + "/v1/run", CONFIG_BODY)
+        s_old, h_old, b_old = http_request(base + "/run", CONFIG_BODY)
+        assert (s_v1, s_old) == (200, 200)
+        assert b_old["key"] == b_v1["key"]
+        assert b_old["result"] == b_v1["result"]
+        assert h_old.get("Deprecation") == "true"
+        assert "Deprecation" not in h_v1
+
+    def test_unknown_paths_404_without_deprecation(self, http_server):
+        base, _, _ = http_server
+        status, headers, _ = http_request(base + "/nope")
+        assert status == 404
+        assert "Deprecation" not in headers
+        assert http_request(base + "/v1/nope")[0] == 404
+
+
+# ----------------------------------------------------------------------
+# ServeClient SDK
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def scripted_server():
+    """Factory for a stub HTTP server that replays a canned script.
+
+    ``start(script)`` takes a list of ``(status, headers, body)``
+    tuples, serves them in order to whatever requests arrive, and
+    returns ``(base_url, calls)`` where ``calls`` records request
+    paths.  Lets the client's retry/error logic be tested without a
+    real service behind it.
+    """
+    import http.server
+
+    servers = []
+
+    def start(script):
+        script = list(script)
+        calls = []
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def _serve(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                if length:
+                    self.rfile.read(length)
+                calls.append(self.path)
+                status, headers, body = script.pop(0)
+                data = json.dumps(body).encode()
+                self.send_response(status)
+                for key, value in headers.items():
+                    self.send_header(key, value)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            do_GET = do_POST = _serve
+
+            def log_message(self, *args):
+                pass
+
+        httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        servers.append((httpd, thread))
+        return f"http://127.0.0.1:{httpd.server_address[1]}", calls
+
+    yield start
+    for httpd, thread in servers:
+        httpd.shutdown()
+        thread.join(timeout=5)
+        httpd.server_close()
+
+
+def run_payload(config):
+    """A valid 200 body for ``/v1/run`` built from :func:`fake_result`."""
+    from repro.harness.io import result_to_cache_dict
+
+    return {
+        "key": config.cache_key(),
+        "tier": "simulated",
+        "result": result_to_cache_dict(fake_result(config)),
+        "summary": "summary-text",
+    }
+
+
+class TestServeClient:
+    def test_run_round_trip_against_real_server(self, cfg, http_server):
+        from repro.harness.io import result_to_cache_dict
+        from repro.serve import ServeClient
+
+        base, _, _ = http_server
+        client = ServeClient(base, timeout_s=20.0)
+        result = client.run(cfg)
+        assert result_to_cache_dict(result) == result_to_cache_dict(
+            fake_result(cfg)
+        )
+        outcome = client.run_detailed(cfg)
+        assert outcome.tier == "memory"
+        assert outcome.key == cfg.cache_key()
+        assert outcome.summary.startswith("mixB on ")
+        assert client.stats()["queue_limit"] == 2
+        assert client.healthz()["status"] == "healthy"
+        assert "quantiles" in client.metrics()
+
+    def test_retry_on_429_honors_retry_after(self, cfg, scripted_server):
+        from repro.serve import ServeClient
+
+        base, calls = scripted_server([
+            (429, {"Retry-After": "0.123"}, {"error": {"kind": "rejected"}}),
+            (429, {}, {"error": {"kind": "rejected"}}),
+            (200, {}, run_payload(cfg)),
+        ])
+        sleeps = []
+        client = ServeClient(base, timeout_s=5.0, max_retries=3,
+                             sleep=sleeps.append)
+        outcome = client.run_detailed(cfg)
+        assert outcome.key == cfg.cache_key()
+        assert calls == ["/v1/run"] * 3
+        # First delay is the server's hint; second falls back to the
+        # small default because no Retry-After was sent.
+        assert sleeps == [0.123, 0.05]
+
+    def test_retry_after_is_capped(self, cfg, scripted_server):
+        from repro.serve import ServeClient
+
+        base, _ = scripted_server([
+            (429, {"Retry-After": "3600"}, {"error": {"kind": "rejected"}}),
+            (200, {}, run_payload(cfg)),
+        ])
+        sleeps = []
+        client = ServeClient(base, timeout_s=5.0, retry_cap_s=0.2,
+                             sleep=sleeps.append)
+        client.run(cfg)
+        assert sleeps == [0.2]
+
+    def test_429_exhausts_retries(self, cfg, scripted_server):
+        from repro.serve import ServeClient, ServeRejectedError
+
+        reject = (429, {"Retry-After": "0.01"}, {"error": {"kind": "rejected"}})
+        base, calls = scripted_server([reject] * 3)
+        client = ServeClient(base, timeout_s=5.0, max_retries=2,
+                             sleep=lambda _s: None)
+        with pytest.raises(ServeRejectedError) as err:
+            client.run(cfg)
+        assert err.value.status == 429
+        assert err.value.retry_after_s == 0.01
+        assert len(calls) == 3  # initial attempt + 2 retries
+
+    def test_503_is_not_retried(self, cfg, scripted_server):
+        from repro.serve import ServeClient, ServeRejectedError
+
+        base, calls = scripted_server([
+            (503, {}, {"error": {"kind": "rejected", "message": "draining"}}),
+        ])
+        sleeps = []
+        client = ServeClient(base, timeout_s=5.0, max_retries=5,
+                             sleep=sleeps.append)
+        with pytest.raises(ServeRejectedError) as err:
+            client.run(cfg)
+        assert err.value.status == 503
+        assert sleeps == [] and len(calls) == 1
+
+    def test_error_mapping(self, cfg, scripted_server):
+        from repro.serve import (
+            ServeBadRequestError,
+            ServeClient,
+            ServeSimulationError,
+            ServeTimeoutError,
+        )
+
+        cases = [
+            (400, {}, {"error": {"message": "bad config"}},
+             ServeBadRequestError),
+            (504, {}, {"error": {"message": "deadline"}}, ServeTimeoutError),
+            (500, {}, {"error": {"kind": "crash", "message": "boom",
+                                 "attempts": 2}}, ServeSimulationError),
+        ]
+        for status, headers, body, exc_type in cases:
+            base, _ = scripted_server([(status, headers, body)])
+            client = ServeClient(base, timeout_s=5.0)
+            with pytest.raises(exc_type) as err:
+                client.run(cfg)
+            assert err.value.status == status
+        assert err.value.kind == "crash" and err.value.attempts == 2
+
+    def test_unreachable_server_raises_connection_error(self, cfg):
+        from repro.serve import ServeClient, ServeConnectionError
+
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here any more
+        client = ServeClient(f"http://127.0.0.1:{port}", timeout_s=2.0)
+        with pytest.raises(ServeConnectionError):
+            client.run(cfg)
+
+    def test_malformed_result_payload_raises(self, cfg, scripted_server):
+        from repro.serve import ServeClient, ServeError
+
+        base, _ = scripted_server([
+            (200, {}, {"key": "k", "tier": "simulated", "result": {"x": 1}}),
+        ])
+        client = ServeClient(base, timeout_s=5.0)
+        with pytest.raises(ServeError, match="malformed run response"):
+            client.run(cfg)
+
+    def test_healthz_returns_body_even_when_unhealthy(self, scripted_server):
+        from repro.serve import ServeClient
+
+        base, _ = scripted_server([
+            (503, {}, {"status": "draining", "live": True, "ready": False}),
+        ])
+        client = ServeClient(base, timeout_s=5.0)
+        assert client.healthz()["status"] == "draining"
